@@ -1,0 +1,303 @@
+// Benchmarks regenerating every table and figure of RECIPE's evaluation
+// (§7), one benchmark family per artifact, plus ablations for the design
+// choices called out in DESIGN.md. Throughput figures report Mops/s via
+// the standard ns/op; counter figures attach clwb/insert, mfence/insert
+// and LLC-miss/op metrics with b.ReportMetric.
+//
+// Scale: benchmarks default to small populations so `go test -bench=.`
+// terminates quickly; cmd/ycsbbench and cmd/counters run the full-size
+// experiments.
+package recipe_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	recipe "repro"
+	"repro/internal/bwtree"
+	"repro/internal/cachesim"
+	"repro/internal/clht"
+	"repro/internal/crash"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+	"repro/internal/ycsb"
+)
+
+const (
+	benchLoadN   = 20_000
+	benchThreads = 8
+)
+
+// runWorkloadBench executes one (index, workload, keykind) cell: the
+// index is loaded once, then b.N operations of the workload mix run
+// across benchThreads goroutines.
+func runWorkloadBench(b *testing.B, index string, w ycsb.Workload, kind keys.Kind, delays bool) {
+	b.Helper()
+	opts := pmem.Options{}
+	if delays {
+		opts.DelayClwb, opts.DelayFence = 40, 20
+	}
+	heap := pmem.New(opts)
+	idx, err := recipe.NewOrdered(index, heap, kind)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := keys.NewGenerator(kind)
+	res, err := recipe.RunOrderedWorkload(index, idx, gen, heap, w, benchLoadN, b.N, benchThreads, 42)
+	if err != nil {
+		if index == "FAST & FAIR" && strings.Contains(err.Error(), "read id") {
+			// FAST & FAIR can lose a committed key under concurrent insert
+			// storms — the §3 data-loss class the paper reports for it
+			// (see internal/fastfair.TestKnownIssueConcurrentLoadLoss).
+			b.Skipf("FAST & FAIR known data-loss class under concurrency: %v", err)
+		}
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.MopsPerSec(), "Mops/s")
+}
+
+func runHashBench(b *testing.B, index string, w ycsb.Workload, delays bool) {
+	b.Helper()
+	opts := pmem.Options{}
+	if delays {
+		opts.DelayClwb, opts.DelayFence = 40, 20
+	}
+	heap := pmem.New(opts)
+	idx, err := recipe.NewHash(index, heap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := keys.NewGenerator(keys.RandInt)
+	res, err := recipe.RunHashWorkload(index, idx, gen, heap, w, benchLoadN, b.N, benchThreads, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.MopsPerSec(), "Mops/s")
+}
+
+// BenchmarkFig4a: ordered indexes, integer keys, multi-threaded YCSB.
+func BenchmarkFig4a(b *testing.B) {
+	for _, name := range recipe.OrderedNames() {
+		for _, w := range recipe.Workloads() {
+			b.Run(fmt.Sprintf("%s/%s", name, w.Name), func(b *testing.B) {
+				runWorkloadBench(b, name, w, keys.RandInt, true)
+			})
+		}
+	}
+}
+
+// BenchmarkFig4b: ordered indexes, 24-byte YCSB string keys.
+func BenchmarkFig4b(b *testing.B) {
+	for _, name := range recipe.OrderedNames() {
+		for _, w := range recipe.Workloads() {
+			b.Run(fmt.Sprintf("%s/%s", name, w.Name), func(b *testing.B) {
+				runWorkloadBench(b, name, w, keys.YCSBString, true)
+			})
+		}
+	}
+}
+
+// BenchmarkFig5: hash indexes, integer keys (workloads without scans).
+func BenchmarkFig5(b *testing.B) {
+	for _, name := range recipe.HashNames() {
+		for _, w := range []ycsb.Workload{ycsb.LoadA, ycsb.A, ycsb.B, ycsb.C} {
+			b.Run(fmt.Sprintf("%s/%s", name, w.Name), func(b *testing.B) {
+				runHashBench(b, name, w, true)
+			})
+		}
+	}
+}
+
+// counterBench runs one Load A pass in stats mode and reports clwb and
+// mfence per insert plus simulated LLC misses per op.
+func counterBench(b *testing.B, index string, kind keys.Kind, hash bool) {
+	b.Helper()
+	heap := pmem.New(pmem.Options{LLC: cachesim.New(cachesim.DefaultConfig())})
+	gen := keys.NewGenerator(kind)
+	var res recipe.Result
+	var err error
+	if hash {
+		var idx recipe.HashIndex
+		idx, err = recipe.NewHash(index, heap)
+		if err == nil {
+			res, err = recipe.RunHashWorkload(index, idx, gen, heap, ycsb.LoadA, benchLoadN/2, b.N, 4, 42)
+		}
+	} else {
+		var idx recipe.OrderedIndex
+		idx, err = recipe.NewOrdered(index, heap, kind)
+		if err == nil {
+			res, err = recipe.RunOrderedWorkload(index, idx, gen, heap, ycsb.LoadA, benchLoadN/2, b.N, 4, 42)
+		}
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.ClwbPerInsert(), "clwb/insert")
+	b.ReportMetric(res.FencePerInsert(), "mfence/insert")
+	b.ReportMetric(res.LLCMissPerOp(), "LLCmiss/op")
+}
+
+// BenchmarkFig4c: per-insert persistence instructions and LLC misses,
+// ordered indexes, integer keys.
+func BenchmarkFig4c(b *testing.B) {
+	for _, name := range recipe.OrderedNames() {
+		b.Run(name, func(b *testing.B) { counterBench(b, name, keys.RandInt, false) })
+	}
+}
+
+// BenchmarkFig4d: the same with string keys.
+func BenchmarkFig4d(b *testing.B) {
+	for _, name := range recipe.OrderedNames() {
+		b.Run(name, func(b *testing.B) { counterBench(b, name, keys.YCSBString, false) })
+	}
+}
+
+// BenchmarkTable4: per-insert persistence instructions and LLC misses,
+// hash indexes.
+func BenchmarkTable4(b *testing.B) {
+	for _, name := range recipe.HashNames() {
+		b.Run(name, func(b *testing.B) { counterBench(b, name, keys.RandInt, true) })
+	}
+}
+
+// BenchmarkSec73_WOART: P-ART vs globally locked WOART (§7.3).
+func BenchmarkSec73_WOART(b *testing.B) {
+	for _, name := range []string{"P-ART", "WOART"} {
+		for _, w := range []ycsb.Workload{ycsb.LoadA, ycsb.C} {
+			b.Run(fmt.Sprintf("%s/%s", name, w.Name), func(b *testing.B) {
+				runWorkloadBench(b, name, w, keys.RandInt, true)
+			})
+		}
+	}
+}
+
+// BenchmarkAblation_FlushBatching compares the per-store flush+fence
+// pattern against batched flushing before a single commit fence — the
+// Condition #1 reordering optimisation (§4.3, §8).
+func BenchmarkAblation_FlushBatching(b *testing.B) {
+	for _, mode := range []string{"per-store", "batched"} {
+		b.Run(mode, func(b *testing.B) {
+			heap := pmem.New(pmem.Options{DelayClwb: 40, DelayFence: 20})
+			obj := heap.Alloc(256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "per-store" {
+					for off := uintptr(0); off < 256; off += 64 {
+						heap.PersistFence(obj, off, 64)
+					}
+				} else {
+					heap.Persist(obj, 0, 256)
+					heap.Fence()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_BwTreeLoadFlush toggles the §6.3 decision to flush
+// loads on the SMO help path.
+func BenchmarkAblation_BwTreeLoadFlush(b *testing.B) {
+	for _, flush := range []bool{true, false} {
+		b.Run(fmt.Sprintf("flushSMOLoads=%v", flush), func(b *testing.B) {
+			heap := pmem.New(pmem.Options{DelayClwb: 40, DelayFence: 20})
+			idx := bwtree.New(heap)
+			idx.FlushSMOLoads = flush
+			gen := keys.NewGenerator(keys.RandInt)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := idx.Insert(gen.Key(uint64(i)), uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_BwTreeDeltaChain sweeps the consolidation threshold.
+func BenchmarkAblation_BwTreeDeltaChain(b *testing.B) {
+	for _, thr := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("threshold=%d", thr), func(b *testing.B) {
+			heap := pmem.NewFast()
+			idx := bwtree.New(heap)
+			idx.ChainThreshold = thr
+			gen := keys.NewGenerator(keys.RandInt)
+			for i := uint64(0); i < 50_000; i++ {
+				if err := idx.Insert(gen.Key(i), i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := idx.Lookup(gen.Key(uint64(i) % 50_000)); !ok {
+					b.Fatal("miss")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_CLHTRehash isolates the globally locked rehash the
+// paper blames for P-CLHT's Load A deficit (§7.2): inserts into a
+// pre-sized table never rehash; inserts into a tiny table rehash
+// repeatedly.
+func BenchmarkAblation_CLHTRehash(b *testing.B) {
+	for _, mode := range []string{"presized", "growing"} {
+		b.Run(mode, func(b *testing.B) {
+			heap := pmem.New(pmem.Options{DelayClwb: 40, DelayFence: 20})
+			n := 4
+			if mode == "presized" {
+				n = 1 << 20
+			}
+			idx := clht.NewWithBuckets(heap, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := idx.Insert(uint64(i)+1, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_ARTCrashRepair measures the cost of the Condition #3
+// write-path repair: inserts into a tree whose last split was crash-torn
+// (the first write pays the try-lock detection plus prefix fix) versus a
+// clean tree.
+func BenchmarkAblation_ARTCrashRepair(b *testing.B) {
+	for _, mode := range []string{"clean", "torn"} {
+		b.Run(mode, func(b *testing.B) {
+			gen := keys.NewGenerator(keys.YCSBString)
+			b.StopTimer()
+			for i := 0; i < b.N; i++ {
+				heap := pmem.NewFast()
+				idx, err := recipe.NewOrdered("P-ART", heap, keys.YCSBString)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := uint64(0); j < 64; j++ {
+					if err := idx.Insert(gen.Key(j), j); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if mode == "torn" {
+					heap.SetInjector(crash.NewAtSite("art.split.installed", 1))
+					for j := uint64(64); j < 4096; j++ {
+						if err := idx.Insert(gen.Key(j), j); err != nil {
+							break // simulated crash fired
+						}
+					}
+					heap.SetInjector(nil)
+					if err := idx.Recover(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				if err := idx.Insert(gen.Key(1_000_000+uint64(i)), 1); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+			}
+		})
+	}
+}

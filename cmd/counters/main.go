@@ -1,0 +1,145 @@
+// Command counters reproduces RECIPE's low-level performance-counter
+// tables: Fig 4c (ordered indexes, integer keys), Fig 4d (ordered
+// indexes, string keys) and Table 4 (hash indexes): average clwb and
+// mfence instructions per insert, and average LLC misses per operation
+// for each YCSB workload. The hardware counters of the paper (perf on a
+// 32 MB LLC) are replaced by the simulated heap's clwb/fence counts and
+// the set-associative LLC model.
+//
+// Usage:
+//
+//	go run ./cmd/counters -figure 4c
+//	go run ./cmd/counters -table 4
+//	go run ./cmd/counters -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+	"repro/internal/ycsb"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "", `"4c" or "4d"`)
+		table   = flag.Int("table", 0, "4 for Table 4")
+		all     = flag.Bool("all", false, "run 4c, 4d and Table 4")
+		loadN   = flag.Int("keys", 200_000, "keys loaded before the measured phase")
+		opN     = flag.Int("ops", 200_000, "operations in the measured phase")
+		threads = flag.Int("threads", 4, "worker threads")
+		seed    = flag.Int64("seed", 42, "workload seed")
+	)
+	// The paper's 64M-key working set dwarfs its 32 MB LLC; a scaled-down
+	// run must scale the simulated LLC too or every access hits. 1 MB per
+	// 200K keys keeps the ratio comparable.
+	flag.IntVar(&llcKB, "llckb", 1024, "simulated LLC capacity in KB (paper machine: 32768 at 64M keys)")
+	flag.Parse()
+	if *all {
+		ordered(keys.RandInt, *loadN, *opN, *threads, *seed)
+		ordered(keys.YCSBString, *loadN, *opN, *threads, *seed)
+		table4(*loadN, *opN, *threads, *seed)
+		return
+	}
+	switch {
+	case *figure == "4c":
+		ordered(keys.RandInt, *loadN, *opN, *threads, *seed)
+	case *figure == "4d":
+		ordered(keys.YCSBString, *loadN, *opN, *threads, *seed)
+	case *table == 4:
+		table4(*loadN, *opN, *threads, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "specify -figure 4c|4d, -table 4, or -all")
+		os.Exit(2)
+	}
+}
+
+var llcKB int
+
+func statsHeap() *pmem.Heap {
+	return pmem.New(pmem.Options{LLC: cachesim.New(cachesim.Config{
+		CapacityBytes: llcKB << 10,
+		Ways:          16,
+	})})
+}
+
+// measure runs the workload in stats mode and returns (clwb/insert,
+// fence/insert from Load A only — the paper reports instruction counts
+// per insert) and LLC misses/op per workload.
+func ordered(kind keys.Kind, loadN, opN, threads int, seed int64) {
+	fig := "4c"
+	if kind == keys.YCSBString {
+		fig = "4d"
+	}
+	fmt.Printf("\n=== Fig %s: performance counters, ordered indexes, %s keys ===\n", fig, kind)
+	fmt.Printf("%-12s %6s %7s |", "PM Index", "clwb", "mfence")
+	for _, w := range ycsb.All {
+		fmt.Printf(" %7s", w.Name)
+	}
+	fmt.Println("   (insert instr | LLC miss/op)")
+	for _, name := range core.OrderedNames {
+		// clwb/mfence per insert, measured on the pure-insert load (the
+		// paper's per-insert columns).
+		heap := statsHeap()
+		idx, err := core.NewOrdered(name, heap, kind)
+		check(err)
+		gen := keys.NewGenerator(kind)
+		res, err := harness.RunOrdered(name, idx, gen, heap, ycsb.LoadA, loadN, opN, threads, seed)
+		check(err)
+		fmt.Printf("%-12s %6.1f %7.1f |", name, res.ClwbPerInsert(), res.FencePerInsert())
+		fmt.Printf(" %7.1f", res.LLCMissPerOp())
+		for _, w := range []ycsb.Workload{ycsb.A, ycsb.B, ycsb.C, ycsb.E} {
+			heap := statsHeap()
+			idx, err := core.NewOrdered(name, heap, kind)
+			check(err)
+			gen := keys.NewGenerator(kind)
+			res, err := harness.RunOrdered(name, idx, gen, heap, w, loadN, opN, threads, seed)
+			check(err)
+			fmt.Printf(" %7.1f", res.LLCMissPerOp())
+		}
+		fmt.Println()
+	}
+}
+
+func table4(loadN, opN, threads int, seed int64) {
+	fmt.Printf("\n=== Table 4: performance counters, hash indexes, integer keys ===\n")
+	fmt.Printf("%-14s %6s %7s |", "PM Index", "clwb", "mfence")
+	hashWorkloads := []ycsb.Workload{ycsb.LoadA, ycsb.A, ycsb.B, ycsb.C}
+	for _, w := range hashWorkloads {
+		fmt.Printf(" %7s", w.Name)
+	}
+	fmt.Println("   (insert instr | LLC miss/op)")
+	for _, name := range core.HashNames {
+		heap := statsHeap()
+		idx, err := core.NewHash(name, heap)
+		check(err)
+		gen := keys.NewGenerator(keys.RandInt)
+		res, err := harness.RunHash(name, idx, gen, heap, ycsb.LoadA, loadN, opN, threads, seed)
+		check(err)
+		fmt.Printf("%-14s %6.1f %7.1f |", name, res.ClwbPerInsert(), res.FencePerInsert())
+		fmt.Printf(" %7.1f", res.LLCMissPerOp())
+		for _, w := range hashWorkloads[1:] {
+			heap := statsHeap()
+			idx, err := core.NewHash(name, heap)
+			check(err)
+			gen := keys.NewGenerator(keys.RandInt)
+			res, err := harness.RunHash(name, idx, gen, heap, w, loadN, opN, threads, seed)
+			check(err)
+			fmt.Printf(" %7.1f", res.LLCMissPerOp())
+		}
+		fmt.Println()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+// Command durability runs the §5 durability test in isolation: it loads
+// each index with traced allocations/stores/flushes (the shadow-tracker
+// analogue of the paper's PIN tracing) and verifies that every dirtied
+// cache line is written back and fenced by the time each operation
+// returns. The Faithful modes reproduce the §7.5 finding that FAST & FAIR
+// and CCEH fail to persist the initial node allocation.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/cceh"
+	"repro/internal/core"
+	"repro/internal/fastfair"
+	"repro/internal/harness"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+)
+
+func main() {
+	n := flag.Int("ops", 5000, "traced insert operations per index")
+	flag.Parse()
+
+	fmt.Printf("=== §5 durability test: %d traced inserts per index ===\n\n", *n)
+	for _, name := range []string{"P-ART", "P-HOT", "P-BwTree", "P-Masstree", "FAST & FAIR", "WOART"} {
+		name := name
+		rep := harness.DurabilityOrdered(name, func(h *pmem.Heap) core.OrderedIndex {
+			idx, err := core.NewOrdered(name, h, keys.YCSBString)
+			if err != nil {
+				panic(err)
+			}
+			return idx
+		}, keys.YCSBString, *n)
+		fmt.Println(rep.String())
+	}
+	for _, name := range []string{"P-CLHT", "CCEH", "Level Hashing"} {
+		name := name
+		rep := harness.DurabilityHash(name, func(h *pmem.Heap) core.HashIndex {
+			idx, err := core.NewHash(name, h)
+			if err != nil {
+				panic(err)
+			}
+			return idx
+		}, *n)
+		fmt.Println(rep.String())
+	}
+
+	fmt.Println("\nFaithful modes (FAIL expected — the §7.5 unpersisted-allocation finding):")
+	rep := harness.DurabilityOrdered("FF-faithful", func(h *pmem.Heap) core.OrderedIndex {
+		return ffAdapter{fastfair.NewWithMode(h, keys.RandInt, fastfair.Faithful)}
+	}, keys.RandInt, *n)
+	fmt.Println(rep.String())
+	rep2 := harness.DurabilityHash("CCEH-faithful", func(h *pmem.Heap) core.HashIndex {
+		return ccehAdapter{cceh.NewWithMode(h, cceh.Faithful)}
+	}, *n)
+	fmt.Println(rep2.String())
+}
+
+type ffAdapter struct{ t *fastfair.Tree }
+
+func (f ffAdapter) Insert(k []byte, v uint64) error { return f.t.Insert(k, v) }
+func (f ffAdapter) Lookup(k []byte) (uint64, bool)  { return f.t.Lookup(k) }
+func (f ffAdapter) Delete(k []byte) (bool, error)   { return f.t.Delete(k) }
+func (f ffAdapter) Recover() error                  { f.t.Recover(); return nil }
+func (f ffAdapter) Len() int                        { return f.t.Len() }
+func (f ffAdapter) Scan(s []byte, c int, fn func([]byte, uint64) bool) int {
+	return f.t.Scan(s, c, fn)
+}
+
+type ccehAdapter struct{ t *cceh.Index }
+
+func (c ccehAdapter) Insert(k, v uint64) error       { return c.t.Insert(k, v) }
+func (c ccehAdapter) Lookup(k uint64) (uint64, bool) { return c.t.Lookup(k) }
+func (c ccehAdapter) Delete(k uint64) (bool, error)  { return c.t.Delete(k) }
+func (c ccehAdapter) Recover() error                 { return c.t.Recover() }
+func (c ccehAdapter) Len() int                       { return c.t.Len() }

@@ -1,0 +1,110 @@
+// Command loccount regenerates Table 1 for this Go port: for each
+// converted index package it counts total core lines of code and the
+// lines belonging to the RECIPE conversion (every line or block tagged
+// with a "RECIPE:" comment — the flush/fence placements, the helper
+// mechanisms, and the crash-detection code). It prints the port's numbers
+// next to the paper's, plus Tables 2 and 3.
+//
+// Usage:
+//
+//	go run ./cmd/loccount
+//	go run ./cmd/loccount -conditions   # only Tables 2 and 3
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ycsb"
+)
+
+// pkgFor maps evaluation names to source directories.
+var pkgFor = map[string]string{
+	"CLHT":     "internal/clht",
+	"HOT":      "internal/hot",
+	"BwTree":   "internal/bwtree",
+	"ART":      "internal/art",
+	"Masstree": "internal/masstree",
+}
+
+func main() {
+	conditionsOnly := flag.Bool("conditions", false, "print only Tables 2 and 3")
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	if !*conditionsOnly {
+		fmt.Println("=== Table 1 (paper figures + this port's LOC from RECIPE: tags) ===")
+		fmt.Println(core.Table1())
+		fmt.Println("This Go port:")
+		fmt.Printf("%-10s | %-9s | %8s | %9s\n", "Index", "Condition", "Core LOC", "Conv. LOC")
+		fmt.Println("-----------+-----------+----------+----------")
+		for _, info := range core.Converted {
+			dir, ok := pkgFor[info.Source]
+			if !ok {
+				continue
+			}
+			total, conv, err := countDir(filepath.Join(*root, dir))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-10s | %-9s | %8d | %4d (%.0f%%)\n",
+				info.Source, info.Condition, total, conv, float64(conv)/float64(total)*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println("=== Table 2 ===")
+	fmt.Println(core.Table2())
+	fmt.Println("=== Table 3 ===")
+	fmt.Println(ycsb.Describe())
+}
+
+// countDir returns (core LOC excluding tests and blanks, conversion LOC).
+// A line tagged "RECIPE:" counts itself and the statement lines that
+// follow it until the next blank line or closing brace at the same level
+// — matching how the paper counts the inserted flush/fence/helper lines.
+func countDir(dir string) (total, conv int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return 0, 0, err
+		}
+		sc := bufio.NewScanner(f)
+		inConv := 0 // statement lines still attributed to a RECIPE tag
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				inConv = 0
+				continue
+			}
+			total++
+			if strings.Contains(line, "RECIPE:") || strings.Contains(line, "RECIPE-FIXED:") {
+				conv++
+				inConv = 2 // attribute the next two statement lines
+				continue
+			}
+			if inConv > 0 && !strings.HasPrefix(line, "//") {
+				conv++
+				inConv--
+			}
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return total, conv, nil
+}

@@ -1,0 +1,159 @@
+// Command ycsbbench reproduces the throughput experiments of RECIPE §7:
+// Fig 4a (ordered indexes, integer keys), Fig 4b (ordered indexes, string
+// keys), Fig 5 (hash indexes, integer keys), and the §7.3 P-ART vs WOART
+// comparison. It prints one row per index with one column per YCSB
+// workload, mirroring the figures' series.
+//
+// Usage:
+//
+//	go run ./cmd/ycsbbench -figure 4a -keys 1000000 -ops 1000000 -threads 16
+//	go run ./cmd/ycsbbench -figure all
+//
+// Simulated-PM latency is charged per clwb/fence (-clwbdelay/-fencedelay
+// busy-work units) so flush-heavy indexes pay the write-path penalty they
+// pay on Optane.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+	"repro/internal/ycsb"
+)
+
+func main() {
+	var (
+		figure     = flag.String("figure", "all", `which figure to run: "4a", "4b", "5", "woart", or "all"`)
+		loadN      = flag.Int("keys", 1_000_000, "keys loaded before the measured phase (paper: 64M)")
+		opN        = flag.Int("ops", 1_000_000, "operations in the measured phase (paper: 64M)")
+		threads    = flag.Int("threads", min(16, runtime.GOMAXPROCS(0)), "worker threads (paper: 16)")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		clwbDelay  = flag.Int("clwbdelay", 40, "simulated PM write-back cost per clwb (busy-work units)")
+		fenceDelay = flag.Int("fencedelay", 20, "simulated cost per fence (busy-work units)")
+	)
+	flag.Parse()
+
+	run := func(fig string) {
+		switch fig {
+		case "4a":
+			runOrdered(keys.RandInt, *loadN, *opN, *threads, *seed, *clwbDelay, *fenceDelay)
+		case "4b":
+			runOrdered(keys.YCSBString, *loadN, *opN, *threads, *seed, *clwbDelay, *fenceDelay)
+		case "5":
+			runHash(*loadN, *opN, *threads, *seed, *clwbDelay, *fenceDelay)
+		case "woart":
+			runWOART(*loadN, *opN, *threads, *seed, *clwbDelay, *fenceDelay)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", fig)
+			os.Exit(2)
+		}
+	}
+	if *figure == "all" {
+		for _, f := range []string{"4a", "4b", "5", "woart"} {
+			run(f)
+		}
+		return
+	}
+	run(*figure)
+}
+
+func heapFor(clwbDelay, fenceDelay int) *pmem.Heap {
+	return pmem.New(pmem.Options{DelayClwb: clwbDelay, DelayFence: fenceDelay})
+}
+
+func runOrdered(kind keys.Kind, loadN, opN, threads int, seed int64, cd, fd int) {
+	fig := "4a"
+	if kind == keys.YCSBString {
+		fig = "4b"
+	}
+	fmt.Printf("\n=== Fig %s: ordered indexes, %s keys, %d threads, load %d + run %d ===\n",
+		fig, kind, threads, loadN, opN)
+	fmt.Printf("%-12s", "Index")
+	for _, w := range ycsb.All {
+		fmt.Printf(" %10s", w.Name)
+	}
+	fmt.Println("   (Mops/s)")
+	for _, name := range core.OrderedNames {
+		fmt.Printf("%-12s", name)
+		for _, w := range ycsb.All {
+			heap := heapFor(cd, fd)
+			idx, err := core.NewOrdered(name, heap, kind)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			gen := keys.NewGenerator(kind)
+			res, err := harness.RunOrdered(name, idx, gen, heap, w, loadN, opN, threads, seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", name, w.Name, err)
+				os.Exit(1)
+			}
+			fmt.Printf(" %10.3f", res.MopsPerSec())
+		}
+		fmt.Println()
+	}
+}
+
+func runHash(loadN, opN, threads int, seed int64, cd, fd int) {
+	fmt.Printf("\n=== Fig 5: hash indexes, integer keys, %d threads, load %d + run %d ===\n",
+		threads, loadN, opN)
+	fmt.Printf("%-14s", "Index")
+	hashWorkloads := []ycsb.Workload{ycsb.LoadA, ycsb.A, ycsb.B, ycsb.C}
+	for _, w := range hashWorkloads {
+		fmt.Printf(" %10s", w.Name)
+	}
+	fmt.Println("   (Mops/s)")
+	for _, name := range core.HashNames {
+		fmt.Printf("%-14s", name)
+		for _, w := range hashWorkloads {
+			heap := heapFor(cd, fd)
+			idx, err := core.NewHash(name, heap)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			gen := keys.NewGenerator(keys.RandInt)
+			res, err := harness.RunHash(name, idx, gen, heap, w, loadN, opN, threads, seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", name, w.Name, err)
+				os.Exit(1)
+			}
+			fmt.Printf(" %10.3f", res.MopsPerSec())
+		}
+		fmt.Println()
+	}
+}
+
+func runWOART(loadN, opN, threads int, seed int64, cd, fd int) {
+	fmt.Printf("\n=== §7.3: P-ART vs WOART (global lock), integer keys, %d threads ===\n", threads)
+	fmt.Printf("%-8s", "Index")
+	for _, w := range ycsb.All {
+		fmt.Printf(" %10s", w.Name)
+	}
+	fmt.Println("   (Mops/s)")
+	for _, name := range []string{"P-ART", "WOART"} {
+		fmt.Printf("%-8s", name)
+		for _, w := range ycsb.All {
+			heap := heapFor(cd, fd)
+			idx, err := core.NewOrdered(name, heap, keys.RandInt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			gen := keys.NewGenerator(keys.RandInt)
+			res, err := harness.RunOrdered(name, idx, gen, heap, w, loadN, opN, threads, seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", name, w.Name, err)
+				os.Exit(1)
+			}
+			fmt.Printf(" %10.3f", res.MopsPerSec())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,635 @@
+package art
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crash"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+)
+
+func newIdx() *Index { return New(pmem.NewFast()) }
+
+func k64(v uint64) []byte { return keys.EncodeUint64(v) }
+
+func mustInsert(t testing.TB, idx *Index, key []byte, v uint64) {
+	t.Helper()
+	if err := idx.Insert(key, v); err != nil {
+		t.Fatalf("Insert(%x): %v", key, err)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	idx := newIdx()
+	if _, ok := idx.Lookup(k64(1)); ok {
+		t.Fatal("lookup on empty tree hit")
+	}
+	if idx.Len() != 0 {
+		t.Fatal("empty tree Len != 0")
+	}
+	if n := idx.Scan(nil, 10, func([]byte, uint64) bool { return true }); n != 0 {
+		t.Fatalf("scan on empty tree visited %d", n)
+	}
+}
+
+func TestSingleKey(t *testing.T) {
+	idx := newIdx()
+	mustInsert(t, idx, k64(42), 100)
+	if v, ok := idx.Lookup(k64(42)); !ok || v != 100 {
+		t.Fatalf("Lookup = %d,%v", v, ok)
+	}
+	if _, ok := idx.Lookup(k64(43)); ok {
+		t.Fatal("wrong key hit")
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	idx := newIdx()
+	mustInsert(t, idx, k64(1), 1)
+	mustInsert(t, idx, k64(1), 2)
+	if v, _ := idx.Lookup(k64(1)); v != 2 {
+		t.Fatalf("value = %d after update, want 2", v)
+	}
+	if idx.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", idx.Len())
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	idx := newIdx()
+	if err := idx.Insert(nil, 1); err != ErrEmptyKey {
+		t.Fatalf("Insert(nil) = %v", err)
+	}
+	if _, err := idx.Delete(nil); err != ErrEmptyKey {
+		t.Fatalf("Delete(nil) = %v", err)
+	}
+}
+
+func TestPrefixKeyRejected(t *testing.T) {
+	idx := newIdx()
+	mustInsert(t, idx, []byte("abcd"), 1)
+	if err := idx.Insert([]byte("ab"), 2); err != ErrPrefixKey {
+		t.Fatalf("prefix insert err = %v, want ErrPrefixKey", err)
+	}
+	if err := idx.Insert([]byte("abcdef"), 2); err != ErrPrefixKey {
+		t.Fatalf("extension insert err = %v, want ErrPrefixKey", err)
+	}
+}
+
+func TestNodeGrowthThroughAllKinds(t *testing.T) {
+	idx := newIdx()
+	// 256 keys differing in the last byte force node4 -> 16 -> 48 -> 256.
+	var key [8]byte
+	for i := 0; i < 256; i++ {
+		key[7] = byte(i)
+		mustInsert(t, idx, key[:], uint64(i))
+	}
+	for i := 0; i < 256; i++ {
+		key[7] = byte(i)
+		if v, ok := idx.Lookup(key[:]); !ok || v != uint64(i) {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if idx.Len() != 256 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+}
+
+func TestPathCompressionSplit(t *testing.T) {
+	idx := newIdx()
+	// Long shared prefixes exercise compression and splitting, including
+	// prefixes beyond the 7 stored bytes.
+	ks := [][]byte{
+		[]byte("commonprefix-aaaaaaaaaaaa-1"),
+		[]byte("commonprefix-aaaaaaaaaaaa-2"),
+		[]byte("commonprefix-bbbbbbbbbbbb-1"),
+		[]byte("commonprefix-bbbbbbbbbbbb-2"),
+		[]byte("otherprefix-cccccccccccc-x1"),
+	}
+	for i, k := range ks {
+		mustInsert(t, idx, k, uint64(i))
+	}
+	for i, k := range ks {
+		if v, ok := idx.Lookup(k); !ok || v != uint64(i) {
+			t.Fatalf("Lookup(%q) = %d,%v", k, v, ok)
+		}
+	}
+	if _, ok := idx.Lookup([]byte("commonprefix-aaaaaaaaaaaa-3")); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	idx := newIdx()
+	for i := uint64(0); i < 100; i++ {
+		mustInsert(t, idx, k64(i), i)
+	}
+	for i := uint64(0); i < 100; i += 2 {
+		del, err := idx.Delete(k64(i))
+		if err != nil || !del {
+			t.Fatalf("Delete(%d) = %v,%v", i, del, err)
+		}
+	}
+	for i := uint64(0); i < 100; i++ {
+		v, ok := idx.Lookup(k64(i))
+		if i%2 == 0 && ok {
+			t.Fatalf("deleted key %d still present", i)
+		}
+		if i%2 == 1 && (!ok || v != i) {
+			t.Fatalf("surviving key %d = %d,%v", i, v, ok)
+		}
+	}
+	if idx.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", idx.Len())
+	}
+	// Deleting absent keys reports false.
+	if del, err := idx.Delete(k64(0)); err != nil || del {
+		t.Fatalf("re-delete = %v,%v", del, err)
+	}
+}
+
+func TestDeleteRootLeaf(t *testing.T) {
+	idx := newIdx()
+	mustInsert(t, idx, k64(1), 1)
+	if del, err := idx.Delete(k64(1)); err != nil || !del {
+		t.Fatalf("Delete = %v,%v", del, err)
+	}
+	if _, ok := idx.Lookup(k64(1)); ok {
+		t.Fatal("root leaf survived delete")
+	}
+	mustInsert(t, idx, k64(2), 2) // tree must remain usable
+	if v, ok := idx.Lookup(k64(2)); !ok || v != 2 {
+		t.Fatal("insert after root delete broken")
+	}
+}
+
+func TestReinsertAfterDelete(t *testing.T) {
+	idx := newIdx()
+	mustInsert(t, idx, k64(1), 1)
+	mustInsert(t, idx, k64(2), 2)
+	if _, err := idx.Delete(k64(1)); err != nil {
+		t.Fatal(err)
+	}
+	mustInsert(t, idx, k64(1), 11)
+	if v, ok := idx.Lookup(k64(1)); !ok || v != 11 {
+		t.Fatalf("reinserted key = %d,%v", v, ok)
+	}
+}
+
+func TestScanOrderedFull(t *testing.T) {
+	idx := newIdx()
+	var want []uint64
+	for i := 0; i < 1000; i++ {
+		v := keys.Mix64(uint64(i))
+		mustInsert(t, idx, k64(v), v)
+		want = append(want, v)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	var got []uint64
+	idx.Scan(nil, 0, func(k []byte, v uint64) bool {
+		got = append(got, keys.DecodeUint64(k))
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("scan visited %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan order broken at %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	idx := newIdx()
+	for i := uint64(0); i < 200; i++ {
+		mustInsert(t, idx, k64(i*2), i*2) // even keys 0..398
+	}
+	var got []uint64
+	n := idx.Scan(k64(101), 10, func(k []byte, v uint64) bool {
+		got = append(got, keys.DecodeUint64(k))
+		return true
+	})
+	if n != 10 || len(got) != 10 {
+		t.Fatalf("scan returned %d keys", n)
+	}
+	for i, g := range got {
+		want := uint64(102 + i*2)
+		if g != want {
+			t.Fatalf("scan[%d] = %d, want %d", i, g, want)
+		}
+	}
+}
+
+func TestScanStopEarly(t *testing.T) {
+	idx := newIdx()
+	for i := uint64(0); i < 50; i++ {
+		mustInsert(t, idx, k64(i), i)
+	}
+	calls := 0
+	idx.Scan(nil, 0, func([]byte, uint64) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Fatalf("fn called %d times, want 5", calls)
+	}
+}
+
+func TestOracleRandom(t *testing.T) {
+	idx := newIdx()
+	oracle := make(map[string]uint64)
+	rng := rand.New(rand.NewSource(2))
+	buf := make([]byte, 8)
+	for i := 0; i < 30000; i++ {
+		rng.Read(buf)
+		buf[0] &= 3 // force collisions and deep structure
+		k := string(buf)
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := rng.Uint64()
+			mustInsert(t, idx, []byte(k), v)
+			oracle[k] = v
+		case 2:
+			if _, err := idx.Delete([]byte(k)); err != nil {
+				t.Fatal(err)
+			}
+			delete(oracle, k)
+		case 3:
+			v, ok := idx.Lookup([]byte(k))
+			ov, ook := oracle[k]
+			if ok != ook || (ok && v != ov) {
+				t.Fatalf("Lookup(%x) = %d,%v oracle %d,%v", k, v, ok, ov, ook)
+			}
+		}
+	}
+	if idx.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle = %d", idx.Len(), len(oracle))
+	}
+	for k, ov := range oracle {
+		if v, ok := idx.Lookup([]byte(k)); !ok || v != ov {
+			t.Fatalf("final Lookup(%x) = %d,%v want %d", k, v, ok, ov)
+		}
+	}
+}
+
+// Property: any set of same-length keys round-trips and scans in sorted
+// order.
+func TestQuickInsertScanSorted(t *testing.T) {
+	f := func(vals []uint64) bool {
+		idx := newIdx()
+		set := make(map[uint64]bool)
+		for _, v := range vals {
+			if idx.Insert(k64(v), v) != nil {
+				return false
+			}
+			set[v] = true
+		}
+		var got []uint64
+		idx.Scan(nil, 0, func(k []byte, v uint64) bool {
+			got = append(got, keys.DecodeUint64(k))
+			return true
+		})
+		if len(got) != len(set) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				return false
+			}
+		}
+		for _, g := range got {
+			if !set[g] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentInsertLookup(t *testing.T) {
+	idx := newIdx()
+	gen := keys.NewGenerator(keys.RandInt)
+	const threads = 8
+	const per = 4000
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := uint64(g*per + i)
+				k := gen.Key(id)
+				if err := idx.Insert(k, id); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if v, ok := idx.Lookup(k); !ok || v != id {
+					t.Errorf("readback id %d = %d,%v", id, v, ok)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if idx.Len() != threads*per {
+		t.Fatalf("Len = %d want %d", idx.Len(), threads*per)
+	}
+	for id := uint64(0); id < threads*per; id += 131 {
+		if v, ok := idx.Lookup(gen.Key(id)); !ok || v != id {
+			t.Fatalf("final lookup %d = %d,%v", id, v, ok)
+		}
+	}
+}
+
+func TestConcurrentStringKeys(t *testing.T) {
+	idx := newIdx()
+	gen := keys.NewGenerator(keys.YCSBString)
+	const threads = 4
+	const per = 3000
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := uint64(g*per + i)
+				if err := idx.Insert(gen.Key(id), id); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent readers and scanners.
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			idx.Scan(nil, 100, func(k []byte, v uint64) bool { return true })
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	for id := uint64(0); id < threads*per; id += 97 {
+		if v, ok := idx.Lookup(gen.Key(id)); !ok || v != id {
+			t.Fatalf("lookup %d = %d,%v", id, v, ok)
+		}
+	}
+}
+
+func TestConcurrentDeleteInsert(t *testing.T) {
+	idx := newIdx()
+	const n = 4000
+	for i := uint64(0); i < n; i++ {
+		mustInsert(t, idx, k64(i), i)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; i += 2 {
+			if _, err := idx.Delete(k64(i)); err != nil {
+				t.Errorf("delete: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := uint64(n); i < n+2000; i++ {
+			if err := idx.Insert(k64(i), i); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	for i := uint64(1); i < n; i += 2 {
+		if v, ok := idx.Lookup(k64(i)); !ok || v != i {
+			t.Fatalf("odd key %d = %d,%v", i, v, ok)
+		}
+	}
+	for i := uint64(0); i < n; i += 2 {
+		if _, ok := idx.Lookup(k64(i)); ok {
+			t.Fatalf("even key %d survived", i)
+		}
+	}
+}
+
+// §5 crash testing: systematically enumerate crash states; after each,
+// recover and verify no committed key is lost, lookups return correct
+// values, and writes still succeed (the Condition #3 helper must repair
+// stale prefixes).
+func TestCrashRecoveryEnumerated(t *testing.T) {
+	gen := keys.NewGenerator(keys.RandInt)
+	for n := int64(1); ; n++ {
+		heap := pmem.NewFast()
+		idx := New(heap)
+		inj := crash.NewNth(n)
+		heap.SetInjector(inj)
+		committed := make(map[uint64]uint64)
+		crashed := false
+		for id := uint64(0); id < 400; id++ {
+			err := idx.Insert(gen.Key(id), id)
+			if crash.IsCrash(err) {
+				crashed = true
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed[id] = id
+		}
+		heap.SetInjector(nil)
+		if !crashed {
+			if n == 1 {
+				t.Fatal("no crash sites reached")
+			}
+			t.Logf("enumerated %d crash states", n-1)
+			break
+		}
+		idx.Recover()
+		for id, v := range committed {
+			got, ok := idx.Lookup(gen.Key(id))
+			if !ok || got != v {
+				t.Fatalf("crash state %d: committed key %d lost (%d,%v)", n, id, got, ok)
+			}
+		}
+		// Post-crash writes (which exercise the helper on stale prefixes).
+		for id := uint64(10000); id < 10100; id++ {
+			if err := idx.Insert(gen.Key(id), id); err != nil {
+				t.Fatalf("crash state %d: post-crash insert: %v", n, err)
+			}
+			if v, ok := idx.Lookup(gen.Key(id)); !ok || v != id {
+				t.Fatalf("crash state %d: post-crash readback", n)
+			}
+		}
+	}
+}
+
+// Crash exactly between the two SMO steps: the stale-prefix state readers
+// must tolerate and the first post-crash writer must repair.
+func TestCrashBetweenSplitSteps(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		heap := pmem.NewFast()
+		idx := New(heap)
+		// Build keys with long shared prefixes so splits happen.
+		base := fmt.Sprintf("prefix%02d-shared-run-", trial)
+		committed := [][]byte{}
+		inj := crash.NewAtSite("art.split.installed", 1)
+		heap.SetInjector(inj)
+		var crashedKey []byte
+		for i := 0; i < 40; i++ {
+			k := []byte(fmt.Sprintf("%s%04d", base, i*7))
+			err := idx.Insert(k, uint64(i))
+			if crash.IsCrash(err) {
+				crashedKey = k
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed = append(committed, k)
+		}
+		heap.SetInjector(nil)
+		idx.Recover()
+		// All committed keys must still be readable despite the stale prefix.
+		for i, k := range committed {
+			if v, ok := idx.Lookup(k); !ok || v != uint64(i) {
+				t.Fatalf("trial %d: committed key %q lost after mid-SMO crash", trial, k)
+			}
+		}
+		if crashedKey == nil {
+			continue // no split happened this trial
+		}
+		// A post-crash write through the inconsistent path triggers the
+		// helper; afterwards everything still works.
+		mustInsert(t, idx, []byte(base+"zzzz"), 999)
+		if v, ok := idx.Lookup([]byte(base + "zzzz")); !ok || v != 999 {
+			t.Fatalf("trial %d: post-repair lookup broken", trial)
+		}
+		for i, k := range committed {
+			if v, ok := idx.Lookup(k); !ok || v != uint64(i) {
+				t.Fatalf("trial %d: key %q lost after repair", trial, k)
+			}
+		}
+	}
+}
+
+// Durability: every dirtied line is persisted by the time each operation
+// returns.
+func TestDurabilityFlushCoverage(t *testing.T) {
+	heap := pmem.New(pmem.Options{Track: true})
+	idx := New(heap)
+	gen := keys.NewGenerator(keys.YCSBString)
+	for id := uint64(0); id < 400; id++ {
+		mustInsert(t, idx, gen.Key(id), id)
+		if v := heap.Tracker().Check(); len(v) != 0 {
+			t.Fatalf("insert %d left unpersisted lines: %v", id, v)
+		}
+	}
+	for id := uint64(0); id < 400; id += 3 {
+		if _, err := idx.Delete(gen.Key(id)); err != nil {
+			t.Fatal(err)
+		}
+		if v := heap.Tracker().Check(); len(v) != 0 {
+			t.Fatalf("delete %d left unpersisted lines: %v", id, v)
+		}
+	}
+}
+
+func TestPackUnpackPrefix(t *testing.T) {
+	for _, b := range [][]byte{nil, {1}, {1, 2, 3}, {1, 2, 3, 4, 5, 6, 7}, bytes.Repeat([]byte{9}, 20)} {
+		n, got := unpackPrefix(packPrefix(b))
+		if n != len(b) {
+			t.Fatalf("len %d, want %d", n, len(b))
+		}
+		m := len(b)
+		if m > maxStoredPrefix {
+			m = maxStoredPrefix
+		}
+		for i := 0; i < m; i++ {
+			if got[i] != b[i] {
+				t.Fatalf("byte %d = %d, want %d", i, got[i], b[i])
+			}
+		}
+	}
+}
+
+func TestAtomicBytes(t *testing.T) {
+	var a8 atomicBytes8
+	var a16 atomicBytes16
+	var a256 atomicBytes256
+	for i := 0; i < 8; i++ {
+		a8.Set(i, byte(i*3))
+	}
+	for i := 0; i < 16; i++ {
+		a16.Set(i, byte(i*5))
+	}
+	for i := 0; i < 256; i++ {
+		a256.Set(i, byte(i))
+	}
+	for i := 0; i < 8; i++ {
+		if a8.Get(i) != byte(i*3) {
+			t.Fatalf("a8[%d]", i)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if a16.Get(i) != byte(i*5) {
+			t.Fatalf("a16[%d]", i)
+		}
+	}
+	for i := 0; i < 256; i++ {
+		if a256.Get(i) != byte(i) {
+			t.Fatalf("a256[%d]", i)
+		}
+	}
+}
+
+func BenchmarkInsertRandInt(b *testing.B) {
+	idx := newIdx()
+	gen := keys.NewGenerator(keys.RandInt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.Insert(gen.Key(uint64(i)), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookupRandInt(b *testing.B) {
+	idx := newIdx()
+	gen := keys.NewGenerator(keys.RandInt)
+	const n = 1 << 16
+	for i := uint64(0); i < n; i++ {
+		if err := idx.Insert(gen.Key(i), i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := idx.Lookup(gen.Key(uint64(i) % n)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package art
+
+import "sync/atomic"
+
+// atomicBytes8 / atomicBytes16 / atomicBytes256 are byte arrays readable
+// with atomic loads. ART readers scan node key arrays without locks while
+// a locked writer appends, so every byte must be loadable race-free; the
+// bytes are packed into 64-bit words that readers load atomically and
+// writers update with read-modify-write under the node lock.
+
+type atomicBytes8 struct {
+	w atomic.Uint64
+}
+
+func (a *atomicBytes8) Get(i int) byte {
+	return byte(a.w.Load() >> (8 * uint(i)))
+}
+
+// Set must be called with the owning node's lock held.
+func (a *atomicBytes8) Set(i int, b byte) {
+	sh := 8 * uint(i)
+	v := a.w.Load()
+	v = (v &^ (0xFF << sh)) | uint64(b)<<sh
+	a.w.Store(v)
+}
+
+type atomicBytes16 struct {
+	w [2]atomic.Uint64
+}
+
+func (a *atomicBytes16) Get(i int) byte {
+	return byte(a.w[i/8].Load() >> (8 * uint(i%8)))
+}
+
+// Set must be called with the owning node's lock held.
+func (a *atomicBytes16) Set(i int, b byte) {
+	sh := 8 * uint(i%8)
+	w := &a.w[i/8]
+	v := w.Load()
+	v = (v &^ (0xFF << sh)) | uint64(b)<<sh
+	w.Store(v)
+}
+
+type atomicBytes256 struct {
+	w [32]atomic.Uint64
+}
+
+func (a *atomicBytes256) Get(i int) byte {
+	return byte(a.w[i/8].Load() >> (8 * uint(i%8)))
+}
+
+// Set must be called with the owning node's lock held.
+func (a *atomicBytes256) Set(i int, b byte) {
+	sh := 8 * uint(i%8)
+	w := &a.w[i/8]
+	v := w.Load()
+	v = (v &^ (0xFF << sh)) | uint64(b)<<sh
+	w.Store(v)
+}

@@ -1,0 +1,752 @@
+package art
+
+import (
+	"bytes"
+	"sync/atomic"
+
+	"repro/internal/crash"
+)
+
+// Insert stores value under key, overwriting the value if key exists.
+// Writers are verified: unlike lookups they never descend optimistically
+// through an inconsistent prefix; they detect it, distinguish transient
+// from permanent with a try-lock, repair permanent damage with the RECIPE
+// helper mechanism, and restart (§6.4).
+func (idx *Index) Insert(key []byte, value uint64) (err error) {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	defer recoverCrash(&err)
+	for {
+		done, err := idx.tryInsert(key, value)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// tryInsert performs one traversal attempt. It returns done=false to
+// request a restart from the root (lost race or repaired inconsistency).
+func (idx *Index) tryInsert(key []byte, value uint64) (done bool, err error) {
+	n := idx.root.Load()
+	if n == nil {
+		idx.rootMu.Lock()
+		if idx.root.Load() != nil {
+			idx.rootMu.Unlock()
+			return false, nil
+		}
+		l := idx.newLeaf(key, value)
+		// RECIPE: persist the leaf before publishing it.
+		idx.persistAll(&l.header)
+		idx.heap.Fence()
+		idx.heap.CrashPoint("art.insert.rootleaf.init")
+		idx.root.Store(&l.header)
+		idx.heap.Dirty(idx.rootPM, 0, 8)
+		// RECIPE: flush + fence after the committing root store.
+		idx.heap.PersistFence(idx.rootPM, 0, 8)
+		idx.heap.CrashPoint("art.insert.rootleaf.commit")
+		idx.count.Add(1)
+		idx.rootMu.Unlock()
+		return true, nil
+	}
+	var parent *header
+	var pslot byte
+	depth := 0
+	for {
+		if n.kind == kLeaf {
+			return idx.insertAtLeaf(parent, pslot, n.leaf(), depth, key, value)
+		}
+		pword := n.prefix.Load()
+		plen, pb := unpackPrefix(pword)
+		expected := int(n.level) - depth
+		if plen != expected {
+			// RECIPE: a writer distinguishes a transient inconsistency
+			// (a concurrent split between its two steps) from a permanent
+			// one (a crash) by acquiring the node lock with try-lock; on
+			// success nothing can be in flight, so the helper repairs the
+			// prefix from a leaf below and persists it.
+			if n.lock.TryLock() {
+				if !n.obsolete.Load() {
+					if p2, _ := n.prefixSnapshot(); int(p2) != expected && expected >= 0 {
+						idx.fixPrefix(n, depth)
+					}
+				}
+				n.lock.Unlock()
+			}
+			return false, nil
+		}
+		// Verified byte comparison: writers reconstruct prefixes longer
+		// than the stored seven bytes from a leaf (hybrid compression).
+		cmpLen := plen
+		if rem := len(key) - depth; cmpLen > rem {
+			cmpLen = rem
+		}
+		mismatch := -1
+		m := cmpLen
+		if m > maxStoredPrefix {
+			m = maxStoredPrefix
+		}
+		for i := 0; i < m; i++ {
+			if pb[i] != key[depth+i] {
+				mismatch = i
+				break
+			}
+		}
+		if mismatch < 0 && cmpLen > maxStoredPrefix {
+			full := idx.fullPrefix(n, depth)
+			if full == nil {
+				return false, nil
+			}
+			for i := maxStoredPrefix; i < cmpLen; i++ {
+				if full[i] != key[depth+i] {
+					mismatch = i
+					break
+				}
+			}
+		}
+		if mismatch < 0 && cmpLen < plen {
+			return false, ErrPrefixKey // key exhausted inside the prefix
+		}
+		if mismatch >= 0 {
+			return idx.splitPrefix(parent, pslot, n, depth, mismatch, key, value)
+		}
+		depth = int(n.level)
+		if depth >= len(key) {
+			return false, ErrPrefixKey
+		}
+		b := key[depth]
+		next := n.child(b)
+		if next == nil {
+			return idx.insertIntoNode(parent, pslot, n, pword, b, key, value)
+		}
+		parent, pslot = n, b
+		n = next
+		depth++
+	}
+}
+
+// insertAtLeaf handles reaching an existing leaf: update in place when the
+// keys match, otherwise split the edge with a new node4 holding both
+// leaves (copy-on-write committed by one pointer swap — Condition #1).
+func (idx *Index) insertAtLeaf(parent *header, pslot byte, lf *leaf, depth int, key []byte, value uint64) (bool, error) {
+	if bytes.Equal(lf.key, key) {
+		// In-place update: a single atomic 8-byte store is the commit.
+		lf.value.Store(value)
+		idx.heap.Dirty(lf.pm, leafValOff, 8)
+		// RECIPE: flush + fence after the committing store.
+		idx.heap.PersistFence(lf.pm, leafValOff, 8)
+		idx.heap.CrashPoint("art.update.commit")
+		return true, nil
+	}
+	unlock, ok := idx.lockSlot(parent, pslot, &lf.header)
+	if !ok {
+		return false, nil
+	}
+	// Recheck equality under the lock (the slot could have been replaced
+	// before we locked, in which case lockSlot already failed).
+	cp := 0
+	maxCp := len(key) - depth
+	if l := len(lf.key) - depth; l < maxCp {
+		maxCp = l
+	}
+	for cp < maxCp && key[depth+cp] == lf.key[depth+cp] {
+		cp++
+	}
+	if depth+cp == len(key) || depth+cp == len(lf.key) {
+		unlock()
+		return false, ErrPrefixKey
+	}
+	nn := idx.allocNode(kNode4, uint32(depth+cp), key[depth:depth+cp])
+	nl := idx.newLeaf(key, value)
+	n4 := nn.n4()
+	n4.keys.Set(0, lf.key[depth+cp])
+	n4.children[0].Store(&lf.header)
+	n4.keys.Set(1, key[depth+cp])
+	n4.children[1].Store(&nl.header)
+	nn.count.Store(2)
+	// RECIPE: persist the new leaf and node before publishing them.
+	idx.persistAll(&nl.header)
+	idx.persistAll(nn)
+	idx.heap.Fence()
+	idx.heap.CrashPoint("art.leafsplit.init")
+	idx.setChildPersist(parent, pslot, nn)
+	idx.heap.CrashPoint("art.leafsplit.commit")
+	idx.count.Add(1)
+	unlock()
+	return true, nil
+}
+
+// insertIntoNode adds a leaf for branch byte b to node n (which writers
+// verified has no child at b). Appends commit via a single atomic store:
+// the count increment (node4/16), the index byte (node48), or the child
+// pointer itself (node256). When n is full it grows by copy-on-write into
+// the next node kind, committed by one pointer swap.
+//
+// prefixSeen is the prefix word the caller verified during its descent; a
+// change means a concurrent split or repair invalidated the verification,
+// so the insert restarts.
+func (idx *Index) insertIntoNode(parent *header, pslot byte, n *header, prefixSeen uint64, b byte, key []byte, value uint64) (bool, error) {
+	n.lock.Lock()
+	if n.obsolete.Load() {
+		n.lock.Unlock()
+		return false, nil
+	}
+	// Recheck under the lock: the prefix may have been split or the slot
+	// filled while we were acquiring it.
+	if n.prefix.Load() != prefixSeen || n.child(b) != nil {
+		n.lock.Unlock()
+		return false, nil
+	}
+	nl := idx.newLeaf(key, value)
+	// RECIPE: persist the leaf before publishing it.
+	idx.persistAll(&nl.header)
+	idx.heap.Fence()
+	idx.heap.CrashPoint("art.insert.leafready")
+
+	switch n.kind {
+	case kNode4, kNode16:
+		var keysSet func(int, byte)
+		var children func(int) *childSlot
+		var capN int
+		if n.kind == kNode4 {
+			nd := n.n4()
+			keysSet = nd.keys.Set
+			children = func(i int) *childSlot { return &nd.children[i] }
+			capN = 4
+		} else {
+			nd := n.n16()
+			keysSet = nd.keys.Set
+			children = func(i int) *childSlot { return &nd.children[i] }
+			capN = 16
+		}
+		cnt := int(n.count.Load())
+		// Reuse a slot whose child was deleted and whose key byte matches.
+		for i := 0; i < cnt; i++ {
+			if keyAt(n, i) == b {
+				children(i).Store(&nl.header)
+				idx.heap.Dirty(n.pm, childOff(n, i), 8)
+				// RECIPE: flush + fence after the committing store.
+				idx.heap.PersistFence(n.pm, childOff(n, i), 8)
+				idx.heap.CrashPoint("art.insert.slotreuse")
+				idx.count.Add(1)
+				n.lock.Unlock()
+				return true, nil
+			}
+		}
+		if cnt < capN {
+			keysSet(cnt, b)
+			children(cnt).Store(&nl.header)
+			idx.heap.Dirty(n.pm, keysOff(n), 16)
+			idx.heap.Dirty(n.pm, childOff(n, cnt), 8)
+			// RECIPE: persist the appended entry, fence, then commit with
+			// the atomic count increment, then persist the header.
+			idx.heap.Persist(n.pm, keysOff(n), 16)
+			idx.heap.Persist(n.pm, childOff(n, cnt), 8)
+			idx.heap.Fence()
+			idx.heap.CrashPoint("art.insert.appended")
+			n.count.Store(uint32(cnt + 1))
+			idx.heap.Dirty(n.pm, 0, hdrBytes)
+			idx.heap.PersistFence(n.pm, 0, hdrBytes)
+			idx.heap.CrashPoint("art.insert.commit")
+			idx.count.Add(1)
+			n.lock.Unlock()
+			return true, nil
+		}
+	case kNode48:
+		nd := n.n48()
+		if s := nd.index.Get(int(b)); s != 0 {
+			nd.children[s-1].Store(&nl.header)
+			idx.heap.Dirty(n.pm, n48ChildOff+uintptr(s-1)*8, 8)
+			// RECIPE: flush + fence after the committing store.
+			idx.heap.PersistFence(n.pm, n48ChildOff+uintptr(s-1)*8, 8)
+			idx.heap.CrashPoint("art.insert.slotreuse")
+			idx.count.Add(1)
+			n.lock.Unlock()
+			return true, nil
+		}
+		cnt := int(n.count.Load())
+		if cnt < 48 {
+			nd.children[cnt].Store(&nl.header)
+			idx.heap.Dirty(n.pm, n48ChildOff+uintptr(cnt)*8, 8)
+			// RECIPE: persist the child slot, fence, then commit with the
+			// atomic index-byte store, then persist the index line.
+			idx.heap.Persist(n.pm, n48ChildOff+uintptr(cnt)*8, 8)
+			idx.heap.Fence()
+			idx.heap.CrashPoint("art.insert.appended")
+			nd.index.Set(int(b), byte(cnt+1))
+			n.count.Store(uint32(cnt + 1))
+			idx.heap.Dirty(n.pm, n48IdxOff+uintptr(b), 1)
+			idx.heap.PersistFence(n.pm, n48IdxOff+uintptr(b), 1)
+			idx.heap.Dirty(n.pm, 0, hdrBytes)
+			idx.heap.Persist(n.pm, 0, hdrBytes)
+			idx.heap.Fence()
+			idx.heap.CrashPoint("art.insert.commit")
+			idx.count.Add(1)
+			n.lock.Unlock()
+			return true, nil
+		}
+	case kNode256:
+		nd := n.n256()
+		nd.children[b].Store(&nl.header)
+		idx.heap.Dirty(n.pm, n256ChOff+uintptr(b)*8, 8)
+		// RECIPE: flush + fence after the committing store.
+		idx.heap.PersistFence(n.pm, n256ChOff+uintptr(b)*8, 8)
+		idx.heap.CrashPoint("art.insert.commit")
+		idx.count.Add(1)
+		n.lock.Unlock()
+		return true, nil
+	}
+
+	// Node full: grow by copy-on-write into the next kind, carrying only
+	// live entries (compaction reclaims slots freed by deletes).
+	bigger := idx.growNode(n, b, &nl.header)
+	// RECIPE: persist the replacement before publishing it.
+	idx.persistAll(bigger)
+	idx.heap.Fence()
+	idx.heap.CrashPoint("art.grow.built")
+	unlock, ok := idx.lockSlot(parent, pslot, n)
+	if !ok {
+		n.lock.Unlock()
+		return false, nil
+	}
+	idx.setChildPersist(parent, pslot, bigger)
+	idx.heap.CrashPoint("art.grow.commit")
+	n.obsolete.Store(true)
+	idx.count.Add(1)
+	unlock()
+	n.lock.Unlock()
+	return true, nil
+}
+
+// childSlot aliases the child-pointer type so node4 and node16 share the
+// insert code.
+type childSlot = atomic.Pointer[header]
+
+// growNode builds the next-size node containing n's live entries plus
+// (b -> extra). When live occupancy leaves room (deletes freed slots) it
+// rebuilds the same kind instead of growing.
+func (idx *Index) growNode(n *header, b byte, extra *header) *header {
+	var buf [256]entry
+	es := n.entries(buf[:0:256])
+	es = append(es, entry{b, extra})
+	var k kind
+	switch {
+	case len(es) <= 4:
+		k = kNode4
+	case len(es) <= 16:
+		k = kNode16
+	case len(es) <= 48:
+		k = kNode48
+	default:
+		k = kNode256
+	}
+	plen, _ := n.prefixSnapshot()
+	var prefix []byte
+	if plen > 0 {
+		depth := int(n.level) - plen
+		prefix = idx.fullPrefix(n, depth)
+		if prefix == nil && extra.kind == kLeaf {
+			// Every live entry was deleted; reconstruct the prefix from
+			// the entry being inserted, which shares it by definition.
+			prefix = extra.leaf().key[depth:int(n.level)]
+		}
+	}
+	nn := idx.allocNode(k, n.level, prefix)
+	switch k {
+	case kNode4:
+		nd := nn.n4()
+		for i, e := range es {
+			nd.keys.Set(i, e.b)
+			nd.children[i].Store(e.c)
+		}
+		nn.count.Store(uint32(len(es)))
+	case kNode16:
+		nd := nn.n16()
+		for i, e := range es {
+			nd.keys.Set(i, e.b)
+			nd.children[i].Store(e.c)
+		}
+		nn.count.Store(uint32(len(es)))
+	case kNode48:
+		nd := nn.n48()
+		for i, e := range es {
+			nd.children[i].Store(e.c)
+			nd.index.Set(int(e.b), byte(i+1))
+		}
+		nn.count.Store(uint32(len(es)))
+	case kNode256:
+		nd := nn.n256()
+		for _, e := range es {
+			nd.children[e.b].Store(e.c)
+		}
+		nn.count.Store(uint32(len(es)))
+	}
+	return nn
+}
+
+// splitPrefix performs ART's SMO: the compressed prefix of n diverges from
+// key at byte index mismatch, so a new node4 takes over the shared part.
+// The two ordered atomic steps are (1) swap the parent's child pointer to
+// the new node and (2) shorten n's prefix; a crash between them is the
+// permanent inconsistency Condition #3 is about.
+func (idx *Index) splitPrefix(parent *header, pslot byte, n *header, depth, mismatch int, key []byte, value uint64) (bool, error) {
+	n.lock.Lock()
+	if n.obsolete.Load() {
+		n.lock.Unlock()
+		return false, nil
+	}
+	// Recheck under the lock.
+	plen, _ := n.prefixSnapshot()
+	if plen != int(n.level)-depth {
+		n.lock.Unlock()
+		return false, nil
+	}
+	full := idx.fullPrefix(n, depth)
+	if full == nil || mismatch >= plen || len(key) <= depth+mismatch ||
+		full[mismatch] == key[depth+mismatch] ||
+		!bytes.Equal(full[:mismatch], key[depth:depth+mismatch]) {
+		n.lock.Unlock()
+		return false, nil
+	}
+	unlock, ok := idx.lockSlot(parent, pslot, n)
+	if !ok {
+		n.lock.Unlock()
+		return false, nil
+	}
+
+	nn := idx.allocNode(kNode4, uint32(depth+mismatch), key[depth:depth+mismatch])
+	nl := idx.newLeaf(key, value)
+	n4 := nn.n4()
+	n4.keys.Set(0, full[mismatch])
+	n4.children[0].Store(n)
+	n4.keys.Set(1, key[depth+mismatch])
+	n4.children[1].Store(&nl.header)
+	nn.count.Store(2)
+	// RECIPE: persist the new node and leaf before step 1.
+	idx.persistAll(&nl.header)
+	idx.persistAll(nn)
+	idx.heap.Fence()
+	idx.heap.CrashPoint("art.split.built")
+
+	// Step 1: atomically install the new parent.
+	idx.setChildPersist(parent, pslot, nn)
+	idx.heap.CrashPoint("art.split.installed")
+
+	// Step 2: shorten n's prefix. A crash exactly between the steps
+	// leaves this store missing — the state the helper repairs.
+	rest := full[mismatch+1:]
+	n.prefix.Store(packPrefix(rest))
+	idx.heap.Dirty(n.pm, offPrefix, 8)
+	// RECIPE: flush + fence after the prefix store.
+	idx.heap.PersistFence(n.pm, offPrefix, 8)
+	idx.heap.CrashPoint("art.split.prefixfixed")
+
+	idx.count.Add(1)
+	unlock()
+	n.lock.Unlock()
+	return true, nil
+}
+
+// fixPrefix is the RECIPE helper mechanism added to the write path: with
+// n locked and known to carry a stale prefix, recompute the true prefix
+// from any leaf below (every leaf under n shares bytes [depth, n.level))
+// and persist it (§6.4: "the write calculates and persists the correct
+// prefix").
+func (idx *Index) fixPrefix(n *header, depth int) {
+	lf := idx.minLeaf(n)
+	truePlen := int(n.level) - depth
+	if lf == nil || truePlen < 0 || len(lf.key) < int(n.level) {
+		return
+	}
+	n.prefix.Store(packPrefix(lf.key[depth:int(n.level)]))
+	idx.heap.Dirty(n.pm, offPrefix, 8)
+	// RECIPE: flush + fence after the repairing store.
+	idx.heap.PersistFence(n.pm, offPrefix, 8)
+	idx.heap.CrashPoint("art.fixprefix")
+}
+
+// Delete removes key, returning whether it was present. Deletion commits
+// with a single atomic store that nils the leaf's child slot (§6.4);
+// freed slots are reclaimed when the node next grows or compacts.
+func (idx *Index) Delete(key []byte) (deleted bool, err error) {
+	if len(key) == 0 {
+		return false, ErrEmptyKey
+	}
+	defer recoverCrash(&err)
+	for {
+		del, done := idx.tryDelete(key)
+		if done {
+			return del, nil
+		}
+	}
+}
+
+func (idx *Index) tryDelete(key []byte) (deleted, done bool) {
+	n := idx.root.Load()
+	if n == nil {
+		return false, true
+	}
+	if n.kind == kLeaf {
+		idx.rootMu.Lock()
+		r := idx.root.Load()
+		if r != n {
+			idx.rootMu.Unlock()
+			return false, false
+		}
+		if !bytes.Equal(n.leaf().key, key) {
+			idx.rootMu.Unlock()
+			return false, true
+		}
+		idx.root.Store(nil)
+		idx.heap.Dirty(idx.rootPM, 0, 8)
+		// RECIPE: flush + fence after the committing store.
+		idx.heap.PersistFence(idx.rootPM, 0, 8)
+		idx.heap.CrashPoint("art.delete.root")
+		idx.count.Add(-1)
+		idx.rootMu.Unlock()
+		return true, true
+	}
+	depth := 0
+	for {
+		plen, pb := n.prefixSnapshot()
+		expected := int(n.level) - depth
+		if plen != expected {
+			if n.lock.TryLock() {
+				if !n.obsolete.Load() && expected >= 0 {
+					if p2, _ := n.prefixSnapshot(); int(p2) != expected {
+						idx.fixPrefix(n, depth)
+					}
+				}
+				n.lock.Unlock()
+			}
+			return false, false
+		}
+		m := plen
+		if m > maxStoredPrefix {
+			m = maxStoredPrefix
+		}
+		if depth+m > len(key) {
+			return false, true
+		}
+		for i := 0; i < m; i++ {
+			if pb[i] != key[depth+i] {
+				return false, true
+			}
+		}
+		if plen > maxStoredPrefix {
+			full := idx.fullPrefix(n, depth)
+			if full == nil {
+				return false, false
+			}
+			if len(key)-depth < plen || !bytes.Equal(full[maxStoredPrefix:], key[depth+maxStoredPrefix:depth+plen]) {
+				return false, true
+			}
+		}
+		depth = int(n.level)
+		if depth >= len(key) {
+			return false, true
+		}
+		b := key[depth]
+		next := n.child(b)
+		if next == nil {
+			return false, true
+		}
+		if next.kind == kLeaf {
+			if !bytes.Equal(next.leaf().key, key) {
+				return false, true
+			}
+			n.lock.Lock()
+			if n.obsolete.Load() || n.child(b) != next {
+				n.lock.Unlock()
+				return false, false
+			}
+			idx.nilChild(n, b)
+			idx.heap.CrashPoint("art.delete.commit")
+			idx.count.Add(-1)
+			n.lock.Unlock()
+			return true, true
+		}
+		n = next
+		depth++
+	}
+}
+
+// nilChild atomically clears the child slot for byte b (caller holds n's
+// lock) and persists the slot.
+func (idx *Index) nilChild(n *header, b byte) {
+	switch n.kind {
+	case kNode4:
+		nd := n.n4()
+		cnt := int(n.count.Load())
+		for i := 0; i < cnt; i++ {
+			if nd.keys.Get(i) == b {
+				nd.children[i].Store(nil)
+				idx.heap.Dirty(n.pm, n4ChildOff+uintptr(i)*8, 8)
+				// RECIPE: flush + fence after the committing store.
+				idx.heap.PersistFence(n.pm, n4ChildOff+uintptr(i)*8, 8)
+				return
+			}
+		}
+	case kNode16:
+		nd := n.n16()
+		cnt := int(n.count.Load())
+		for i := 0; i < cnt; i++ {
+			if nd.keys.Get(i) == b {
+				nd.children[i].Store(nil)
+				idx.heap.Dirty(n.pm, n16ChildOff+uintptr(i)*8, 8)
+				// RECIPE: flush + fence after the committing store.
+				idx.heap.PersistFence(n.pm, n16ChildOff+uintptr(i)*8, 8)
+				return
+			}
+		}
+	case kNode48:
+		nd := n.n48()
+		if s := nd.index.Get(int(b)); s != 0 {
+			nd.children[s-1].Store(nil)
+			idx.heap.Dirty(n.pm, n48ChildOff+uintptr(s-1)*8, 8)
+			// RECIPE: flush + fence after the committing store.
+			idx.heap.PersistFence(n.pm, n48ChildOff+uintptr(s-1)*8, 8)
+		}
+	case kNode256:
+		nd := n.n256()
+		nd.children[b].Store(nil)
+		idx.heap.Dirty(n.pm, n256ChOff+uintptr(b)*8, 8)
+		// RECIPE: flush + fence after the committing store.
+		idx.heap.PersistFence(n.pm, n256ChOff+uintptr(b)*8, 8)
+	}
+}
+
+// lockSlot locks whatever owns the slot pointing at want: the rootMu when
+// parent is nil, otherwise the parent node. It verifies the slot still
+// points at want (and the parent is not obsolete); on failure it returns
+// ok=false with everything unlocked so the caller restarts.
+func (idx *Index) lockSlot(parent *header, pslot byte, want *header) (unlock func(), ok bool) {
+	if parent == nil {
+		idx.rootMu.Lock()
+		if idx.root.Load() != want {
+			idx.rootMu.Unlock()
+			return nil, false
+		}
+		return idx.rootMu.Unlock, true
+	}
+	parent.lock.Lock()
+	if parent.obsolete.Load() || parent.child(pslot) != want {
+		parent.lock.Unlock()
+		return nil, false
+	}
+	return parent.lock.Unlock, true
+}
+
+// setChildPersist atomically replaces the slot (which the caller has
+// locked via lockSlot) with nn and persists the containing line.
+func (idx *Index) setChildPersist(parent *header, pslot byte, nn *header) {
+	if parent == nil {
+		idx.root.Store(nn)
+		idx.heap.Dirty(idx.rootPM, 0, 8)
+		// RECIPE: flush + fence after the committing store.
+		idx.heap.PersistFence(idx.rootPM, 0, 8)
+		return
+	}
+	switch parent.kind {
+	case kNode4:
+		nd := parent.n4()
+		cnt := int(parent.count.Load())
+		for i := 0; i < cnt; i++ {
+			if nd.keys.Get(i) == pslot && nd.children[i].Load() != nil {
+				nd.children[i].Store(nn)
+				idx.heap.Dirty(parent.pm, n4ChildOff+uintptr(i)*8, 8)
+				// RECIPE: flush + fence after the committing store.
+				idx.heap.PersistFence(parent.pm, n4ChildOff+uintptr(i)*8, 8)
+				return
+			}
+		}
+	case kNode16:
+		nd := parent.n16()
+		cnt := int(parent.count.Load())
+		for i := 0; i < cnt; i++ {
+			if nd.keys.Get(i) == pslot && nd.children[i].Load() != nil {
+				nd.children[i].Store(nn)
+				idx.heap.Dirty(parent.pm, n16ChildOff+uintptr(i)*8, 8)
+				// RECIPE: flush + fence after the committing store.
+				idx.heap.PersistFence(parent.pm, n16ChildOff+uintptr(i)*8, 8)
+				return
+			}
+		}
+	case kNode48:
+		nd := parent.n48()
+		if s := nd.index.Get(int(pslot)); s != 0 {
+			nd.children[s-1].Store(nn)
+			idx.heap.Dirty(parent.pm, n48ChildOff+uintptr(s-1)*8, 8)
+			// RECIPE: flush + fence after the committing store.
+			idx.heap.PersistFence(parent.pm, n48ChildOff+uintptr(s-1)*8, 8)
+			return
+		}
+	case kNode256:
+		nd := parent.n256()
+		nd.children[pslot].Store(nn)
+		idx.heap.Dirty(parent.pm, n256ChOff+uintptr(pslot)*8, 8)
+		// RECIPE: flush + fence after the committing store.
+		idx.heap.PersistFence(parent.pm, n256ChOff+uintptr(pslot)*8, 8)
+		return
+	}
+	panic("art: setChildPersist slot vanished under lock")
+}
+
+// minLeaf returns some leaf below n (the first found in slot order), used
+// to reconstruct compressed prefixes. Returns nil if a racing delete
+// emptied the subtree.
+func (idx *Index) minLeaf(n *header) *leaf {
+	for n != nil {
+		if n.kind == kLeaf {
+			return n.leaf()
+		}
+		var buf [256]entry
+		es := n.entries(buf[:0:256])
+		if len(es) == 0 {
+			return nil
+		}
+		n = es[0].c
+	}
+	return nil
+}
+
+// fullPrefix reconstructs n's complete compressed prefix (bytes
+// [depth, n.level) shared by every key below n) from a leaf.
+func (idx *Index) fullPrefix(n *header, depth int) []byte {
+	lf := idx.minLeaf(n)
+	if lf == nil || len(lf.key) < int(n.level) || depth > int(n.level) {
+		return nil
+	}
+	return lf.key[depth:int(n.level)]
+}
+
+// keyAt / keysOff / childOff adapt slot addressing across node4/node16.
+func keyAt(n *header, i int) byte {
+	if n.kind == kNode4 {
+		return n.n4().keys.Get(i)
+	}
+	return n.n16().keys.Get(i)
+}
+
+func keysOff(n *header) uintptr {
+	if n.kind == kNode4 {
+		return n4KeysOff
+	}
+	return n16KeysOff
+}
+
+func childOff(n *header, i int) uintptr {
+	if n.kind == kNode4 {
+		return n4ChildOff + uintptr(i)*8
+	}
+	return n16ChildOff + uintptr(i)*8
+}
+
+func recoverCrash(err *error) {
+	if r := recover(); r != nil {
+		*err = crash.Recover(r)
+	}
+}

@@ -1,0 +1,161 @@
+package art
+
+import "bytes"
+
+// Lookup returns the value stored under key. Lookups are non-blocking and
+// never retry: a reader that observes an inconsistent compressed prefix
+// (depth + prefixLen != level, the signature of an in-flight or crashed
+// path-compression split) tolerates it by skipping the prefix — the level
+// field records how many bytes the prefix must cover — and verifying the
+// full key at the leaf (§6.4).
+func (idx *Index) Lookup(key []byte) (uint64, bool) {
+	n := idx.root.Load()
+	depth := 0
+	for n != nil {
+		idx.trackRead(n)
+		if n.kind == kLeaf {
+			l := n.leaf()
+			if bytes.Equal(l.key, key) {
+				return l.value.Load(), true
+			}
+			return 0, false
+		}
+		plen, pb := n.prefixSnapshot()
+		expected := int(n.level) - depth
+		if expected < 0 {
+			return 0, false
+		}
+		if plen == expected {
+			// Consistent prefix: check the stored bytes; bytes beyond the
+			// seven stored inline are verified at the leaf (hybrid path
+			// compression).
+			m := plen
+			if m > maxStoredPrefix {
+				m = maxStoredPrefix
+			}
+			if depth+m > len(key) {
+				return 0, false
+			}
+			for i := 0; i < m; i++ {
+				if pb[i] != key[depth+i] {
+					return 0, false
+				}
+			}
+		}
+		// plen != expected: tolerate the inconsistency, as the converted
+		// read path does, by ignoring the stale prefix entirely.
+		depth = int(n.level)
+		if depth >= len(key) {
+			return 0, false
+		}
+		n = n.child(key[depth])
+		depth++
+	}
+	return 0, false
+}
+
+// trackRead charges the LLC model for the lines a descent step touches.
+func (idx *Index) trackRead(n *header) {
+	switch n.kind {
+	case kLeaf:
+		idx.heap.Load(n.pm, 0, uintptr(leafHdrBytes+len(n.leaf().key)))
+	case kNode4:
+		idx.heap.Load(n.pm, 0, node4Bytes)
+	case kNode16:
+		idx.heap.Load(n.pm, 0, n16ChildOff+64)
+	case kNode48:
+		idx.heap.Load(n.pm, 0, hdrBytes)
+		idx.heap.Load(n.pm, n48IdxOff, 64)
+		idx.heap.Load(n.pm, n48ChildOff, 8)
+	case kNode256:
+		idx.heap.Load(n.pm, 0, hdrBytes)
+		idx.heap.Load(n.pm, n256ChOff, 8)
+	}
+}
+
+// Scan visits keys >= start in ascending order, calling fn for each until
+// fn returns false or count keys have been visited (count <= 0 means
+// unbounded). It returns the number of keys visited. Scans are
+// non-blocking; like lookups they tolerate stale prefixes by pruning only
+// through prefixes that pass the consistency check and filtering every
+// leaf against start.
+//
+// Tries keep no sibling pointers between leaves, so range scans pay a
+// full tree walk — the structural reason P-ART trails B+ trees on YCSB E
+// (§7.1), which this implementation reproduces.
+func (idx *Index) Scan(start []byte, count int, fn func(key []byte, value uint64) bool) int {
+	visited := 0
+	var walk func(n *header, depth int, bounded bool) bool
+	walk = func(n *header, depth int, bounded bool) bool {
+		if n == nil {
+			return true
+		}
+		idx.trackRead(n)
+		if n.kind == kLeaf {
+			l := n.leaf()
+			if bytes.Compare(l.key, start) >= 0 {
+				if !fn(l.key, l.value.Load()) {
+					return false
+				}
+				visited++
+				if count > 0 && visited >= count {
+					return false
+				}
+			}
+			return true
+		}
+		lo := -1 // smallest admissible branch byte when bounded
+		plen, pb := n.prefixSnapshot()
+		expected := int(n.level) - depth
+		if bounded && expected >= 0 && plen == expected {
+			// Compare the consistent prefix against start to prune.
+			m := plen
+			if m > maxStoredPrefix {
+				m = maxStoredPrefix
+			}
+			for i := 0; i < m; i++ {
+				sb := byte(0)
+				if depth+i < len(start) {
+					sb = start[depth+i]
+				}
+				if pb[i] > sb {
+					bounded = false // whole subtree > start
+					break
+				}
+				if pb[i] < sb {
+					return true // whole subtree < start
+				}
+			}
+		}
+		depth = int(n.level)
+		if bounded {
+			if depth < len(start) {
+				lo = int(start[depth])
+			} else {
+				lo = 0
+			}
+		}
+		var buf [256]entry
+		es := n.entries(buf[:0:256])
+		// Node4/16 keep entries in append order; insertion sort is cheap
+		// at <=16 elements and avoids per-node allocations (node48/256
+		// come out of entries() already sorted).
+		for i := 1; i < len(es); i++ {
+			for j := i; j > 0 && es[j].b < es[j-1].b; j-- {
+				es[j], es[j-1] = es[j-1], es[j]
+			}
+		}
+		for _, e := range es {
+			if lo >= 0 && int(e.b) < lo {
+				continue
+			}
+			childBounded := bounded && lo >= 0 && int(e.b) == lo
+			if !walk(e.c, depth+1, childBounded) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(idx.root.Load(), 0, len(start) > 0)
+	return visited
+}

@@ -1,0 +1,353 @@
+package cceh
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crash"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+)
+
+func TestInsertLookup(t *testing.T) {
+	idx := New(pmem.NewFast())
+	if err := idx.Insert(7, 70); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := idx.Lookup(7); !ok || v != 70 {
+		t.Fatalf("Lookup = %d,%v", v, ok)
+	}
+	if _, ok := idx.Lookup(8); ok {
+		t.Fatal("phantom")
+	}
+}
+
+func TestZeroKey(t *testing.T) {
+	idx := New(pmem.NewFast())
+	if err := idx.Insert(0, 1); err != ErrZeroKey {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := idx.Delete(0); err != ErrZeroKey {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	idx := New(pmem.NewFast())
+	if err := idx.Insert(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Insert(5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := idx.Lookup(5); v != 2 {
+		t.Fatalf("v = %d", v)
+	}
+	if idx.Len() != 1 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	idx := New(pmem.NewFast())
+	for k := uint64(1); k <= 100; k++ {
+		if err := idx.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(1); k <= 100; k += 2 {
+		del, err := idx.Delete(k)
+		if err != nil || !del {
+			t.Fatalf("Delete(%d) = %v,%v", k, del, err)
+		}
+	}
+	for k := uint64(1); k <= 100; k++ {
+		_, ok := idx.Lookup(k)
+		if k%2 == 1 && ok {
+			t.Fatalf("deleted %d present", k)
+		}
+		if k%2 == 0 && !ok {
+			t.Fatalf("survivor %d missing", k)
+		}
+	}
+}
+
+func TestSegmentSplitsAndDoubling(t *testing.T) {
+	idx := New(pmem.NewFast())
+	const n = 100000
+	for i := uint64(1); i <= n; i++ {
+		if err := idx.Insert(keys.Mix64(i), i); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if idx.Segments() < 8 {
+		t.Fatalf("expected many segments, got %d", idx.Segments())
+	}
+	if idx.Depth() <= DefaultDepth {
+		t.Fatalf("directory never doubled: depth %d", idx.Depth())
+	}
+	for i := uint64(1); i <= n; i++ {
+		if v, ok := idx.Lookup(keys.Mix64(i)); !ok || v != i {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if idx.Len() != n {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+}
+
+func TestOracleRandom(t *testing.T) {
+	idx := New(pmem.NewFast())
+	oracle := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30000; i++ {
+		k := uint64(rng.Intn(5000)) + 1
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := rng.Uint64()
+			if err := idx.Insert(k, v); err != nil {
+				t.Fatal(err)
+			}
+			oracle[k] = v
+		case 2:
+			if _, err := idx.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(oracle, k)
+		default:
+			v, ok := idx.Lookup(k)
+			ov, ook := oracle[k]
+			if ok != ook || (ok && v != ov) {
+				t.Fatalf("Lookup(%d) = %d,%v oracle %d,%v", k, v, ok, ov, ook)
+			}
+		}
+	}
+}
+
+// Property: batches of distinct keys all round-trip through splits.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		idx := New(pmem.NewFast())
+		count := int(n%2000) + 1
+		for i := 0; i < count; i++ {
+			k := keys.Mix64(seed + uint64(i))
+			if idx.Insert(k, uint64(i)) != nil {
+				return false
+			}
+		}
+		for i := 0; i < count; i++ {
+			k := keys.Mix64(seed + uint64(i))
+			if v, ok := idx.Lookup(k); !ok || v != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	idx := New(pmem.NewFast())
+	const threads = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := keys.Mix64(uint64(g*per+i)) | 1
+				if err := idx.Insert(k, uint64(i)); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if _, ok := idx.Lookup(k); !ok {
+					t.Errorf("readback miss %d", k)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// §5 crash testing in Fixed mode: every enumerated crash state recovers
+// without losing committed keys.
+func TestCrashRecoveryFixedMode(t *testing.T) {
+	for n := int64(1); ; n++ {
+		heap := pmem.NewFast()
+		idx := NewWithMode(heap, Fixed)
+		heap.SetInjector(crash.NewNth(n))
+		committed := make(map[uint64]uint64)
+		crashed := false
+		for i := uint64(1); i <= 800; i++ {
+			k := keys.Mix64(i)
+			err := idx.Insert(k, i)
+			if crash.IsCrash(err) {
+				crashed = true
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed[k] = i
+		}
+		heap.SetInjector(nil)
+		if !crashed {
+			if n == 1 {
+				t.Fatal("no crash sites reached")
+			}
+			t.Logf("enumerated %d crash states", n-1)
+			break
+		}
+		if err := idx.Recover(); err != nil {
+			t.Fatalf("crash state %d: Fixed-mode recovery failed: %v", n, err)
+		}
+		for k, v := range committed {
+			got, ok := idx.Lookup(k)
+			if !ok || got != v {
+				t.Fatalf("crash state %d: committed key %d lost (%d,%v)", n, k, got, ok)
+			}
+		}
+		for i := uint64(100000); i < 100050; i++ {
+			if err := idx.Insert(keys.Mix64(i), i); err != nil {
+				t.Fatalf("crash state %d: post-crash insert: %v", n, err)
+			}
+		}
+		if n > 10000 {
+			t.Fatal("crash-state enumeration did not terminate")
+		}
+	}
+}
+
+// §3 bug reproduction: in Faithful mode, a crash between the directory
+// pointer swap and the global-depth update leaves insertions unable to
+// make progress (the published "insertion operations loop infinitely")
+// and the recovery walk stalled.
+func TestDirectoryDoublingBugFaithful(t *testing.T) {
+	heap := pmem.NewFast()
+	idx := NewWithMode(heap, Faithful)
+	heap.SetInjector(crash.NewAtSite("cceh.double.swapped", 1))
+	var sawCrash bool
+	for i := uint64(1); i <= 200000; i++ {
+		err := idx.Insert(keys.Mix64(i), i)
+		if crash.IsCrash(err) {
+			sawCrash = true
+			break
+		}
+		if err != nil {
+			t.Fatalf("unexpected pre-crash error: %v", err)
+		}
+	}
+	if !sawCrash {
+		t.Fatal("directory never doubled; cannot exercise the bug")
+	}
+	heap.SetInjector(nil)
+	// The recovery algorithm itself stalls (§3: "goes into an infinite
+	// loop").
+	if err := idx.Recover(); !errors.Is(err, ErrStalled) {
+		t.Fatalf("Faithful recovery err = %v, want ErrStalled", err)
+	}
+	// Insertions stall rather than making progress.
+	stalled := 0
+	for i := uint64(500000); i < 500040; i++ {
+		if err := idx.Insert(keys.Mix64(i), i); errors.Is(err, ErrStalled) {
+			stalled++
+		}
+	}
+	if stalled == 0 {
+		t.Fatal("no insert stalled; the §3 bug was not reproduced")
+	}
+}
+
+// The same crash in Fixed mode is harmless: the single-pointer publish
+// closes the window.
+func TestDirectoryDoublingFixed(t *testing.T) {
+	heap := pmem.NewFast()
+	idx := NewWithMode(heap, Fixed)
+	heap.SetInjector(crash.NewAtSite("cceh.double.commit", 1))
+	committed := make(map[uint64]uint64)
+	for i := uint64(1); i <= 200000; i++ {
+		k := keys.Mix64(i)
+		err := idx.Insert(k, i)
+		if crash.IsCrash(err) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed[k] = i
+	}
+	heap.SetInjector(nil)
+	if err := idx.Recover(); err != nil {
+		t.Fatalf("Fixed recovery: %v", err)
+	}
+	for k, v := range committed {
+		if got, ok := idx.Lookup(k); !ok || got != v {
+			t.Fatalf("key %d lost (%d,%v)", k, got, ok)
+		}
+	}
+	for i := uint64(500000); i < 500100; i++ {
+		if err := idx.Insert(keys.Mix64(i), i); err != nil {
+			t.Fatalf("post-crash insert: %v", err)
+		}
+	}
+}
+
+// §7.5 durability finding: CCEH's initial root allocation is unpersisted
+// in Faithful mode.
+func TestDurabilityInitialAllocation(t *testing.T) {
+	heapF := pmem.New(pmem.Options{Track: true})
+	NewWithMode(heapF, Faithful)
+	if v := heapF.Tracker().Check(); len(v) == 0 {
+		t.Fatal("Faithful mode should leave the root allocation unpersisted")
+	}
+	heapX := pmem.New(pmem.Options{Track: true})
+	NewWithMode(heapX, Fixed)
+	if v := heapX.Tracker().Check(); len(v) != 0 {
+		t.Fatalf("Fixed mode left unpersisted lines: %v", v)
+	}
+}
+
+func TestDurabilityFlushCoverage(t *testing.T) {
+	heap := pmem.New(pmem.Options{Track: true})
+	idx := NewWithMode(heap, Fixed)
+	for i := uint64(1); i <= 2000; i++ {
+		if err := idx.Insert(keys.Mix64(i), i); err != nil {
+			t.Fatal(err)
+		}
+		if v := heap.Tracker().Check(); len(v) != 0 {
+			t.Fatalf("insert %d left unpersisted lines: %v", i, v)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	idx := New(pmem.NewFast())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.Insert(keys.Mix64(uint64(i))|1, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	idx := New(pmem.NewFast())
+	const n = 1 << 16
+	for i := uint64(0); i < n; i++ {
+		if err := idx.Insert(keys.Mix64(i)|1, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Lookup(keys.Mix64(uint64(i)%n) | 1)
+	}
+}

@@ -1,0 +1,381 @@
+// Package clht implements P-CLHT, the RECIPE conversion of the Cache-Line
+// Hash Table (David et al., ASPLOS '15) to persistent memory (§6.2).
+//
+// CLHT restricts each bucket to one 64-byte cache line holding three
+// key/value pairs, a lock word, and an overflow pointer, so the common
+// case costs one cache-line access. Readers are non-blocking and use
+// atomic snapshots of key/value pairs; writers lock the bucket and commit
+// each insert or delete with a single 8-byte atomic store (the key write),
+// ordering the value store before it. Rehashing copies buckets into a new
+// table and commits it by atomically swapping the table pointer.
+//
+// CLHT therefore satisfies RECIPE Condition #1 — every update becomes
+// visible through one hardware-atomic store — and the conversion consists
+// only of cache-line write-backs and fences after the appropriate stores
+// (30 LOC in the paper). The persistence points in this file are marked
+// with "RECIPE:" comments; cmd/loccount counts them to regenerate Table 1.
+package clht
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/crash"
+	"repro/internal/pmem"
+	"repro/internal/pmlock"
+)
+
+// EntriesPerBucket is the number of key/value pairs per 64-byte bucket.
+const EntriesPerBucket = 3
+
+// Simulated persistent layout of a bucket: exactly one cache line.
+//
+//	off  0..23  keys[3]
+//	off 24..47  vals[3]
+//	off 48..55  lock (not meaningfully persistent; re-initialised on recovery)
+//	off 56..63  next
+const (
+	bucketBytes = 64
+	offKeys     = 0
+	offVals     = 24
+	offNext     = 56
+)
+
+// ErrZeroKey is returned for key 0, which CLHT reserves as the empty-slot
+// marker.
+var ErrZeroKey = errors.New("clht: key 0 is reserved")
+
+type bucket struct {
+	pm   pmem.Obj // allocation holding this bucket's persistent image
+	off  uintptr  // byte offset of the bucket within pm
+	lock pmlock.Mutex
+	keys [EntriesPerBucket]atomic.Uint64
+	vals [EntriesPerBucket]atomic.Uint64
+	next atomic.Pointer[bucket]
+}
+
+type table struct {
+	pm      pmem.Obj
+	buckets []bucket
+	mask    uint64
+	seed    uint64
+}
+
+func (t *table) bucketFor(key uint64) *bucket {
+	h := mix(key ^ t.seed)
+	return &t.buckets[h&t.mask]
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	return x ^ (x >> 33)
+}
+
+// Index is a persistent cache-line hash table. Keys are non-zero uint64s
+// and values are uint64s, matching the paper's evaluation of unordered
+// indexes with 8-byte integer keys. Index is safe for concurrent use.
+type Index struct {
+	heap  *pmem.Heap
+	root  pmem.Obj // persistent root line holding the current table pointer
+	tab   atomic.Pointer[table]
+	count atomic.Int64
+
+	resize pmlock.Mutex
+
+	// maxChain is the overflow-chain length that triggers rehashing.
+	maxChain int
+}
+
+// DefaultBuckets is the initial bucket count; 768 buckets ≈ the paper's
+// 48 KB starting table (§7: "a starting hash table size of 48KB").
+const DefaultBuckets = 768
+
+// New returns an empty P-CLHT backed by heap with the default initial
+// size.
+func New(heap *pmem.Heap) *Index { return NewWithBuckets(heap, DefaultBuckets) }
+
+// NewWithBuckets returns an empty P-CLHT with n initial buckets (rounded
+// up to a power of two).
+func NewWithBuckets(heap *pmem.Heap, n int) *Index {
+	if n < 1 {
+		n = 1
+	}
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	idx := &Index{heap: heap, maxChain: 2}
+	idx.root = heap.Alloc(64)
+	t := idx.newTable(p, 0x5bd1e995)
+	idx.tab.Store(t)
+	// RECIPE: persist the freshly initialised table and the root pointer
+	// before the index is usable (the durability bug the paper found in
+	// FAST & FAIR and CCEH was an unpersisted initial allocation).
+	heap.PersistFence(idx.root, 0, 64)
+	return idx
+}
+
+func (idx *Index) newTable(nbuckets int, seed uint64) *table {
+	t := &table{
+		buckets: make([]bucket, nbuckets),
+		mask:    uint64(nbuckets - 1),
+		seed:    seed,
+	}
+	t.pm = idx.heap.Alloc(uintptr(nbuckets) * bucketBytes)
+	for i := range t.buckets {
+		t.buckets[i].pm = t.pm
+		t.buckets[i].off = uintptr(i) * bucketBytes
+	}
+	// Persist the zeroed array; relaxed ordering is fine because the table
+	// only becomes reachable via a later atomic pointer swap (Condition #1
+	// allows reordering of stores preceding the commit store).
+	idx.heap.Persist(t.pm, 0, uintptr(nbuckets)*bucketBytes)
+	return t
+}
+
+// Lookup returns the value stored for key. Reads are non-blocking: they
+// walk the bucket chain using atomic loads and take an atomic snapshot of
+// each candidate pair by re-checking the key after reading the value.
+func (idx *Index) Lookup(key uint64) (uint64, bool) {
+	if key == 0 {
+		return 0, false
+	}
+	t := idx.tab.Load()
+	for b := t.bucketFor(key); b != nil; b = b.next.Load() {
+		idx.heap.Load(b.pm, b.off, bucketBytes)
+		for i := 0; i < EntriesPerBucket; i++ {
+			if b.keys[i].Load() == key {
+				v := b.vals[i].Load()
+				if b.keys[i].Load() == key {
+					return v, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// Insert stores value under key, overwriting any existing value. It
+// returns ErrZeroKey for key 0 and crash.ErrCrashed when interrupted by a
+// simulated crash.
+func (idx *Index) Insert(key, value uint64) (err error) {
+	if key == 0 {
+		return ErrZeroKey
+	}
+	defer recoverCrash(&err)
+	for {
+		t := idx.tab.Load()
+		b := t.bucketFor(key)
+		b.lock.Lock()
+		// A resize may have swapped the table while we waited for the
+		// bucket lock; retry against the new table.
+		if idx.tab.Load() != t {
+			b.lock.Unlock()
+			continue
+		}
+		ok := idx.insertLocked(b, key, value)
+		b.lock.Unlock()
+		if ok {
+			return nil
+		}
+		// Chain too long: rehash and retry.
+		idx.rehash(t)
+	}
+}
+
+// insertLocked performs the insert under the bucket lock. It returns false
+// when the chain is over the overflow threshold and a resize is required.
+func (idx *Index) insertLocked(head *bucket, key, value uint64) bool {
+	var free *bucket
+	freeIdx := -1
+	chain := 0
+	for b := head; b != nil; b = b.next.Load() {
+		idx.heap.Load(b.pm, b.off, bucketBytes)
+		for i := 0; i < EntriesPerBucket; i++ {
+			k := b.keys[i].Load()
+			if k == key {
+				// Update: a single atomic 8-byte store is the commit.
+				b.vals[i].Store(value)
+				idx.heap.Dirty(b.pm, b.off+offVals+uintptr(i)*8, 8)
+				// RECIPE: flush + fence after the committing store.
+				idx.heap.PersistFence(b.pm, b.off+offVals+uintptr(i)*8, 8)
+				idx.heap.CrashPoint("clht.update.commit")
+				return true
+			}
+			if k == 0 && freeIdx < 0 {
+				free, freeIdx = b, i
+			}
+		}
+		chain++
+	}
+	if freeIdx >= 0 {
+		// Write the value first, order it, then commit with the atomic
+		// key store. Both live in the same cache line, so one write-back
+		// after the commit persists the pair; an eviction between the
+		// stores persists only the value, which is invisible (key still
+		// 0) and therefore harmless.
+		free.vals[freeIdx].Store(value)
+		idx.heap.Dirty(free.pm, free.off+offVals+uintptr(freeIdx)*8, 8)
+		// RECIPE: fence so the value store is ordered before the key
+		// store on its way to PM.
+		idx.heap.Fence()
+		idx.heap.CrashPoint("clht.insert.val")
+		free.keys[freeIdx].Store(key)
+		idx.heap.Dirty(free.pm, free.off+offKeys+uintptr(freeIdx)*8, 8)
+		// RECIPE: flush + fence after the committing key store.
+		idx.heap.PersistFence(free.pm, free.off, bucketBytes)
+		idx.heap.CrashPoint("clht.insert.commit")
+		idx.count.Add(1)
+		return true
+	}
+	if chain > idx.maxChain {
+		return false
+	}
+	// Append an overflow bucket: initialise it off-path, persist it, then
+	// commit by atomically linking it.
+	nb := &bucket{pm: idx.heap.Alloc(bucketBytes)}
+	nb.keys[0].Store(key)
+	nb.vals[0].Store(value)
+	// RECIPE: persist the new bucket before it becomes reachable.
+	idx.heap.Persist(nb.pm, 0, bucketBytes)
+	idx.heap.Fence()
+	idx.heap.CrashPoint("clht.insert.overflow.init")
+	last := head
+	for l := last.next.Load(); l != nil; l = last.next.Load() {
+		last = l
+	}
+	last.next.Store(nb)
+	idx.heap.Dirty(last.pm, last.off+offNext, 8)
+	// RECIPE: flush + fence after the committing link store.
+	idx.heap.PersistFence(last.pm, last.off+offNext, 8)
+	idx.heap.CrashPoint("clht.insert.overflow.link")
+	idx.count.Add(1)
+	return true
+}
+
+// Delete removes key, returning true if it was present.
+func (idx *Index) Delete(key uint64) (deleted bool, err error) {
+	if key == 0 {
+		return false, ErrZeroKey
+	}
+	defer recoverCrash(&err)
+	for {
+		t := idx.tab.Load()
+		head := t.bucketFor(key)
+		head.lock.Lock()
+		if idx.tab.Load() != t {
+			head.lock.Unlock()
+			continue
+		}
+		for b := head; b != nil; b = b.next.Load() {
+			for i := 0; i < EntriesPerBucket; i++ {
+				if b.keys[i].Load() == key {
+					// Deletion commits with a single atomic store of 0 to
+					// the key (§6.2).
+					b.keys[i].Store(0)
+					idx.heap.Dirty(b.pm, b.off+offKeys+uintptr(i)*8, 8)
+					// RECIPE: flush + fence after the committing store.
+					idx.heap.PersistFence(b.pm, b.off+offKeys+uintptr(i)*8, 8)
+					idx.heap.CrashPoint("clht.delete.commit")
+					idx.count.Add(-1)
+					head.lock.Unlock()
+					return true, nil
+				}
+			}
+		}
+		head.lock.Unlock()
+		return false, nil
+	}
+}
+
+// rehash doubles the table. It locks every bucket of the old table (so no
+// writer can race the copy), builds the new table off-path, persists it,
+// and commits with a single atomic swap of the table pointer — the SMO
+// variant of Condition #1 (§6.2: re-hashing uses copy-on-write and an
+// atomic swap). The paper attributes P-CLHT's Load-A deficit vs CCEH to
+// exactly this globally locked scheme (§7.2).
+func (idx *Index) rehash(old *table) {
+	idx.resize.Lock()
+	defer idx.resize.Unlock()
+	if idx.tab.Load() != old {
+		return // someone else already resized
+	}
+	for i := range old.buckets {
+		old.buckets[i].lock.Lock()
+	}
+	nt := idx.newTable(len(old.buckets)*2, old.seed+0x9E3779B9)
+	for i := range old.buckets {
+		for b := &old.buckets[i]; b != nil; b = b.next.Load() {
+			for e := 0; e < EntriesPerBucket; e++ {
+				if k := b.keys[e].Load(); k != 0 {
+					idx.copyInto(nt, k, b.vals[e].Load())
+				}
+			}
+		}
+	}
+	// RECIPE: persist the fully built table, fence, then commit with the
+	// atomic table-pointer swap, then persist the root line.
+	idx.heap.Persist(nt.pm, 0, uintptr(len(nt.buckets))*bucketBytes)
+	idx.heap.Fence()
+	idx.heap.CrashPoint("clht.rehash.built")
+	idx.tab.Store(nt)
+	idx.heap.Dirty(idx.root, 0, 8)
+	idx.heap.PersistFence(idx.root, 0, 8)
+	idx.heap.CrashPoint("clht.rehash.swap")
+	for i := range old.buckets {
+		old.buckets[i].lock.Unlock()
+	}
+}
+
+// copyInto inserts into a private (not yet published) table without
+// locking or per-store persistence.
+func (idx *Index) copyInto(t *table, key, value uint64) {
+	b := t.bucketFor(key)
+	for {
+		for i := 0; i < EntriesPerBucket; i++ {
+			if b.keys[i].Load() == 0 {
+				b.keys[i].Store(key)
+				b.vals[i].Store(value)
+				return
+			}
+		}
+		nb := b.next.Load()
+		if nb == nil {
+			nb = &bucket{pm: idx.heap.Alloc(bucketBytes)}
+			idx.heap.Persist(nb.pm, 0, bucketBytes)
+			b.next.Store(nb)
+		}
+		b = nb
+	}
+}
+
+// Len returns the number of live keys.
+func (idx *Index) Len() int { return int(idx.count.Load()) }
+
+// Buckets returns the current bucket count (for tests and capacity
+// reporting).
+func (idx *Index) Buckets() int { return len(idx.tab.Load().buckets) }
+
+// Recover re-initialises all locks, modelling the lock-table
+// re-initialisation a RECIPE index performs when restarting after a crash
+// (§6, "Lock initialization"). CLHT needs no other recovery work: a
+// crashed insert left either an invisible value store (key still 0) or a
+// fully committed pair.
+func (idx *Index) Recover() {
+	idx.resize.Reset()
+	t := idx.tab.Load()
+	for i := range t.buckets {
+		for b := &t.buckets[i]; b != nil; b = b.next.Load() {
+			b.lock.Reset()
+		}
+	}
+}
+
+func recoverCrash(err *error) {
+	if r := recover(); r != nil {
+		*err = crash.Recover(r)
+	}
+}

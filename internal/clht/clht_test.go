@@ -1,0 +1,390 @@
+package clht
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crash"
+	"repro/internal/pmem"
+)
+
+func newSmall(t testing.TB) *Index {
+	t.Helper()
+	return NewWithBuckets(pmem.NewFast(), 4)
+}
+
+func TestInsertLookup(t *testing.T) {
+	idx := New(pmem.NewFast())
+	if err := idx.Insert(42, 100); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := idx.Lookup(42)
+	if !ok || v != 100 {
+		t.Fatalf("Lookup(42) = %d,%v want 100,true", v, ok)
+	}
+	if _, ok := idx.Lookup(43); ok {
+		t.Fatal("Lookup(43) should miss")
+	}
+	if idx.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", idx.Len())
+	}
+}
+
+func TestInsertOverwrites(t *testing.T) {
+	idx := New(pmem.NewFast())
+	mustInsert(t, idx, 7, 1)
+	mustInsert(t, idx, 7, 2)
+	if v, _ := idx.Lookup(7); v != 2 {
+		t.Fatalf("value = %d, want 2 after overwrite", v)
+	}
+	if idx.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (update must not double-count)", idx.Len())
+	}
+}
+
+func TestZeroKeyRejected(t *testing.T) {
+	idx := New(pmem.NewFast())
+	if err := idx.Insert(0, 1); err != ErrZeroKey {
+		t.Fatalf("Insert(0) err = %v, want ErrZeroKey", err)
+	}
+	if _, err := idx.Delete(0); err != ErrZeroKey {
+		t.Fatalf("Delete(0) err = %v, want ErrZeroKey", err)
+	}
+	if _, ok := idx.Lookup(0); ok {
+		t.Fatal("Lookup(0) should miss")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	idx := New(pmem.NewFast())
+	mustInsert(t, idx, 5, 50)
+	del, err := idx.Delete(5)
+	if err != nil || !del {
+		t.Fatalf("Delete(5) = %v,%v", del, err)
+	}
+	if _, ok := idx.Lookup(5); ok {
+		t.Fatal("key survived delete")
+	}
+	del, err = idx.Delete(5)
+	if err != nil || del {
+		t.Fatal("second delete should report absent")
+	}
+	if idx.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", idx.Len())
+	}
+}
+
+func TestSlotReuseAfterDelete(t *testing.T) {
+	idx := newSmall(t)
+	mustInsert(t, idx, 1, 10)
+	if _, err := idx.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	mustInsert(t, idx, 2, 20)
+	if v, ok := idx.Lookup(2); !ok || v != 20 {
+		t.Fatalf("Lookup(2) = %d,%v", v, ok)
+	}
+}
+
+func TestOverflowChains(t *testing.T) {
+	// 1-bucket table: everything chains.
+	idx := NewWithBuckets(pmem.NewFast(), 1)
+	for k := uint64(1); k <= 6; k++ {
+		mustInsert(t, idx, k, k*10)
+	}
+	for k := uint64(1); k <= 6; k++ {
+		if v, ok := idx.Lookup(k); !ok || v != k*10 {
+			t.Fatalf("Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestRehashGrowsAndPreserves(t *testing.T) {
+	idx := NewWithBuckets(pmem.NewFast(), 2)
+	const n = 2000
+	for k := uint64(1); k <= n; k++ {
+		mustInsert(t, idx, k, k)
+	}
+	if idx.Buckets() <= 2 {
+		t.Fatalf("table never grew: %d buckets", idx.Buckets())
+	}
+	for k := uint64(1); k <= n; k++ {
+		if v, ok := idx.Lookup(k); !ok || v != k {
+			t.Fatalf("post-rehash Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if idx.Len() != n {
+		t.Fatalf("Len = %d, want %d", idx.Len(), n)
+	}
+}
+
+func TestOracleRandomOps(t *testing.T) {
+	idx := NewWithBuckets(pmem.NewFast(), 2)
+	oracle := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(500)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint64()
+			mustInsert(t, idx, k, v)
+			oracle[k] = v
+		case 1:
+			if _, err := idx.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(oracle, k)
+		case 2:
+			v, ok := idx.Lookup(k)
+			ov, ook := oracle[k]
+			if ok != ook || (ok && v != ov) {
+				t.Fatalf("Lookup(%d) = %d,%v; oracle %d,%v", k, v, ok, ov, ook)
+			}
+		}
+	}
+	if idx.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle %d", idx.Len(), len(oracle))
+	}
+}
+
+// Property: any batch of inserts is fully readable.
+func TestQuickInsertAllReadable(t *testing.T) {
+	f := func(ks []uint64) bool {
+		idx := NewWithBuckets(pmem.NewFast(), 2)
+		want := make(map[uint64]uint64)
+		for i, k := range ks {
+			if k == 0 {
+				continue
+			}
+			if idx.Insert(k, uint64(i)) != nil {
+				return false
+			}
+			want[k] = uint64(i)
+		}
+		for k, v := range want {
+			got, ok := idx.Lookup(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return idx.Len() == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	idx := NewWithBuckets(pmem.NewFast(), 2)
+	const threads = 8
+	const per = 3000
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := uint64(g*per) + 1
+			for i := uint64(0); i < per; i++ {
+				if err := idx.Insert(base+i, base+i); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if v, ok := idx.Lookup(base + i); !ok || v != base+i {
+					t.Errorf("readback %d = %d,%v", base+i, v, ok)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if idx.Len() != threads*per {
+		t.Fatalf("Len = %d, want %d", idx.Len(), threads*per)
+	}
+	for g := 0; g < threads; g++ {
+		base := uint64(g*per) + 1
+		for i := uint64(0); i < per; i += 97 {
+			if v, ok := idx.Lookup(base + i); !ok || v != base+i {
+				t.Fatalf("final Lookup(%d) = %d,%v", base+i, v, ok)
+			}
+		}
+	}
+}
+
+func TestConcurrentReadersDuringWrites(t *testing.T) {
+	idx := NewWithBuckets(pmem.NewFast(), 2)
+	for k := uint64(1); k <= 1000; k++ {
+		mustInsert(t, idx, k, k)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(1); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := i%1000 + 1
+				if v, ok := idx.Lookup(k); ok && v != k {
+					t.Errorf("reader saw wrong value %d for key %d", v, k)
+					return
+				}
+			}
+		}()
+	}
+	for k := uint64(1001); k <= 4000; k++ {
+		mustInsert(t, idx, k, k)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// Crash testing per §5: enumerate every crash site systematically, verify
+// no committed key is lost and the index remains fully writable.
+func TestCrashRecoveryEnumerated(t *testing.T) {
+	for n := int64(1); ; n++ {
+		heap := pmem.NewFast()
+		idx := NewWithBuckets(heap, 2)
+		inj := crash.NewNth(n)
+		heap.SetInjector(inj)
+
+		committed := make(map[uint64]uint64)
+		var crashed bool
+		for k := uint64(1); k <= 300; k++ {
+			err := idx.Insert(k, k*3)
+			if crash.IsCrash(err) {
+				crashed = true
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed[k] = k * 3
+		}
+		heap.SetInjector(nil)
+		if !crashed {
+			if n == 1 {
+				t.Fatal("no crash sites reached at all")
+			}
+			break // enumerated every crash state
+		}
+		idx.Recover()
+		// No committed key may be lost.
+		for k, v := range committed {
+			got, ok := idx.Lookup(k)
+			if !ok || got != v {
+				t.Fatalf("crash state %d: committed key %d lost (got %d,%v)", n, k, got, ok)
+			}
+		}
+		// Writes must still succeed after recovery.
+		for k := uint64(1000); k < 1050; k++ {
+			if err := idx.Insert(k, k); err != nil {
+				t.Fatalf("crash state %d: post-crash insert failed: %v", n, err)
+			}
+			if v, ok := idx.Lookup(k); !ok || v != k {
+				t.Fatalf("crash state %d: post-crash readback failed", n)
+			}
+		}
+	}
+}
+
+// Durability per §5: every dirtied line is flushed and fenced by the time
+// each operation returns.
+func TestDurabilityFlushCoverage(t *testing.T) {
+	heap := pmem.New(pmem.Options{Track: true})
+	idx := NewWithBuckets(heap, 2)
+	if v := heap.Tracker().Check(); len(v) != 0 {
+		t.Fatalf("constructor left unpersisted lines: %v", v)
+	}
+	for k := uint64(1); k <= 500; k++ {
+		mustInsert(t, idx, k, k)
+		if v := heap.Tracker().Check(); len(v) != 0 {
+			t.Fatalf("insert %d left unpersisted lines: %v", k, v)
+		}
+	}
+	for k := uint64(1); k <= 500; k += 3 {
+		if _, err := idx.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+		if v := heap.Tracker().Check(); len(v) != 0 {
+			t.Fatalf("delete %d left unpersisted lines: %v", k, v)
+		}
+	}
+}
+
+func TestInsertFlushCount(t *testing.T) {
+	// §6.2: common-case inserts require one cache-line flush.
+	heap := pmem.NewFast()
+	idx := NewWithBuckets(heap, 1024)
+	before := heap.Stats()
+	mustInsert(t, idx, 12345, 1)
+	d := heap.Stats().Sub(before)
+	if d.Clwb != 1 {
+		t.Fatalf("common-case insert issued %d clwb, want 1", d.Clwb)
+	}
+	if d.Fence != 2 {
+		t.Fatalf("common-case insert issued %d fences, want 2", d.Fence)
+	}
+}
+
+func TestRecoverResetsLocks(t *testing.T) {
+	idx := newSmall(t)
+	// Abandon a bucket lock as a crashed writer would.
+	idx.tab.Load().buckets[0].lock.Lock()
+	idx.resize.Lock()
+	idx.Recover()
+	if idx.tab.Load().buckets[0].lock.Locked() || idx.resize.Locked() {
+		t.Fatal("Recover did not reset locks")
+	}
+}
+
+func mustInsert(t testing.TB, idx *Index, k, v uint64) {
+	t.Helper()
+	if err := idx.Insert(k, v); err != nil {
+		t.Fatalf("Insert(%d,%d): %v", k, v, err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	heap := pmem.NewFast()
+	idx := New(heap)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.Insert(uint64(i)+1, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	heap := pmem.NewFast()
+	idx := New(heap)
+	const n = 1 << 16
+	for i := uint64(1); i <= n; i++ {
+		if err := idx.Insert(i, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i)%n + 1
+		if _, ok := idx.Lookup(k); !ok {
+			b.Fatalf("miss %d", k)
+		}
+	}
+}
+
+func ExampleIndex() {
+	idx := New(pmem.NewFast())
+	_ = idx.Insert(1, 100)
+	v, ok := idx.Lookup(1)
+	fmt.Println(v, ok)
+	// Output: 100 true
+}

@@ -1,0 +1,246 @@
+// Package core defines the common index interfaces, the registry of all
+// nine index implementations (the five RECIPE conversions of §6 and the
+// four hand-crafted PM baselines of §3/§7), and the metadata behind the
+// paper's Tables 1 and 2.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/art"
+	"repro/internal/bwtree"
+	"repro/internal/cceh"
+	"repro/internal/clht"
+	"repro/internal/fastfair"
+	"repro/internal/hot"
+	"repro/internal/keys"
+	"repro/internal/levelhash"
+	"repro/internal/masstree"
+	"repro/internal/pmem"
+	"repro/internal/woart"
+)
+
+// OrderedIndex is the interface every ordered (point + range query) index
+// implements: the paper's insert/lookup/range_query/delete interface of
+// §2.1 plus crash recovery.
+type OrderedIndex interface {
+	// Insert stores value under key, overwriting an existing binding.
+	Insert(key []byte, value uint64) error
+	// Lookup returns the value stored under key.
+	Lookup(key []byte) (uint64, bool)
+	// Delete removes key, reporting whether it was present.
+	Delete(key []byte) (bool, error)
+	// Scan visits keys >= start in ascending order until fn returns false
+	// or count keys were visited (count <= 0 = unbounded); it returns the
+	// number of keys visited.
+	Scan(start []byte, count int, fn func(key []byte, value uint64) bool) int
+	// Recover models restart after a crash: lock re-initialisation plus
+	// whatever explicit recovery the index defines (RECIPE indexes: none).
+	Recover() error
+	// Len returns the number of live keys.
+	Len() int
+}
+
+// HashIndex is the unordered (point query only) interface; the paper
+// evaluates unordered indexes with 8-byte integer keys (§7).
+type HashIndex interface {
+	Insert(key, value uint64) error
+	Lookup(key uint64) (uint64, bool)
+	Delete(key uint64) (bool, error)
+	Recover() error
+	Len() int
+}
+
+// Condition is a RECIPE conversion condition (§4).
+type Condition int
+
+const (
+	// NotApplicable marks hand-crafted baselines.
+	NotApplicable Condition = iota
+	// Cond1 — updates visible via a single atomic store (§4.3).
+	Cond1
+	// Cond2 — non-blocking writers fix inconsistencies (§4.4).
+	Cond2
+	// Cond3 — blocking writers detect but cannot fix; RECIPE adds the
+	// helper (§4.5).
+	Cond3
+)
+
+func (c Condition) String() string {
+	switch c {
+	case Cond1:
+		return "#1"
+	case Cond2:
+		return "#2"
+	case Cond3:
+		return "#3"
+	default:
+		return "-"
+	}
+}
+
+// Info describes one index for Tables 1 and 2.
+type Info struct {
+	// Name is the evaluation name ("P-ART", "FAST & FAIR", ...).
+	Name string
+	// Source is the DRAM index converted, for RECIPE indexes.
+	Source string
+	// Structure is the Table 1 "Data Structure" column.
+	Structure string
+	// Recipe is true for the five converted indexes.
+	Recipe bool
+	// Ordered is true for indexes supporting range queries.
+	Ordered bool
+	// Condition is the overall Table 1 condition; NonSMO/SMO split it as
+	// in Table 2.
+	Condition, NonSMO, SMO Condition
+	// Reader/Writer synchronisation, as in Table 2.
+	Reader, Writer string
+	// PaperOrigLOC/PaperCoreLOC/PaperModLOC reproduce Table 1's LOC
+	// columns as reported by the paper (the Go port's own numbers come
+	// from cmd/loccount).
+	PaperOrigLOC, PaperCoreLOC, PaperModLOC string
+}
+
+// Converted lists the five RECIPE-converted indexes (Tables 1 and 2).
+var Converted = []Info{
+	{Name: "P-CLHT", Source: "CLHT", Structure: "Hash Table", Recipe: true, Ordered: false,
+		Condition: Cond1, NonSMO: Cond1, SMO: Cond1, Reader: "Non-blocking", Writer: "Blocking",
+		PaperOrigLOC: "12.6K", PaperCoreLOC: "2.8K", PaperModLOC: "30 (1%)"},
+	{Name: "P-HOT", Source: "HOT", Structure: "Trie", Recipe: true, Ordered: true,
+		Condition: Cond1, NonSMO: Cond1, SMO: Cond1, Reader: "Non-blocking", Writer: "Blocking",
+		PaperOrigLOC: "36K", PaperCoreLOC: "2K", PaperModLOC: "38 (2%)"},
+	{Name: "P-BwTree", Source: "BwTree", Structure: "B+ Tree", Recipe: true, Ordered: true,
+		Condition: Cond2, NonSMO: Cond1, SMO: Cond2, Reader: "Non-blocking", Writer: "Non-blocking",
+		PaperOrigLOC: "13K", PaperCoreLOC: "5.2K", PaperModLOC: "85 (1.6%)"},
+	{Name: "P-ART", Source: "ART", Structure: "Radix Tree", Recipe: true, Ordered: true,
+		Condition: Cond3, NonSMO: Cond1, SMO: Cond3, Reader: "Non-blocking", Writer: "Blocking",
+		PaperOrigLOC: "4.5K", PaperCoreLOC: "1.5K", PaperModLOC: "52 (3.4%)"},
+	{Name: "P-Masstree", Source: "Masstree", Structure: "B+ Tree & Trie", Recipe: true, Ordered: true,
+		Condition: Cond3, NonSMO: Cond1, SMO: Cond3, Reader: "Non-blocking", Writer: "Blocking",
+		PaperOrigLOC: "25K", PaperCoreLOC: "2.2K", PaperModLOC: "200 (9%)"},
+}
+
+// Baselines lists the hand-crafted PM indexes compared against.
+var Baselines = []Info{
+	{Name: "FAST & FAIR", Structure: "B+ Tree", Ordered: true, Reader: "Non-blocking", Writer: "Blocking"},
+	{Name: "CCEH", Structure: "Hash Table", Reader: "Non-blocking", Writer: "Blocking"},
+	{Name: "Level Hashing", Structure: "Hash Table", Reader: "Non-blocking", Writer: "Blocking"},
+	{Name: "WOART", Structure: "Radix Tree", Ordered: true, Reader: "Blocking", Writer: "Blocking"},
+}
+
+// OrderedNames lists the ordered indexes in the paper's Fig 4 order.
+var OrderedNames = []string{"FAST & FAIR", "P-BwTree", "P-Masstree", "P-ART", "P-HOT"}
+
+// HashNames lists the unordered indexes in the paper's Fig 5 order.
+var HashNames = []string{"CCEH", "Level Hashing", "P-CLHT"}
+
+// orderedAdapter lifts the concrete indexes (whose Recover has no error)
+// into OrderedIndex.
+type orderedAdapter struct {
+	insert func([]byte, uint64) error
+	lookup func([]byte) (uint64, bool)
+	del    func([]byte) (bool, error)
+	scan   func([]byte, int, func([]byte, uint64) bool) int
+	rec    func() error
+	length func() int
+}
+
+func (a *orderedAdapter) Insert(k []byte, v uint64) error { return a.insert(k, v) }
+func (a *orderedAdapter) Lookup(k []byte) (uint64, bool)  { return a.lookup(k) }
+func (a *orderedAdapter) Delete(k []byte) (bool, error)   { return a.del(k) }
+func (a *orderedAdapter) Recover() error                  { return a.rec() }
+func (a *orderedAdapter) Len() int                        { return a.length() }
+func (a *orderedAdapter) Scan(s []byte, c int, f func([]byte, uint64) bool) int {
+	return a.scan(s, c, f)
+}
+
+// NewOrdered constructs the named ordered index on heap. kind selects the
+// key encoding, which only FAST & FAIR needs to know up front (it stores
+// integer keys inline and string keys out of line, as the paper's
+// extension does).
+func NewOrdered(name string, heap *pmem.Heap, kind keys.Kind) (OrderedIndex, error) {
+	wrap := func(insert func([]byte, uint64) error, lookup func([]byte) (uint64, bool),
+		del func([]byte) (bool, error), scan func([]byte, int, func([]byte, uint64) bool) int,
+		rec func(), length func() int) OrderedIndex {
+		return &orderedAdapter{insert, lookup, del, scan, func() error { rec(); return nil }, length}
+	}
+	switch name {
+	case "P-ART":
+		t := art.New(heap)
+		return wrap(t.Insert, t.Lookup, t.Delete, t.Scan, t.Recover, t.Len), nil
+	case "P-HOT":
+		t := hot.New(heap)
+		return wrap(t.Insert, t.Lookup, t.Delete, t.Scan, t.Recover, t.Len), nil
+	case "P-BwTree":
+		t := bwtree.New(heap)
+		return wrap(t.Insert, t.Lookup, t.Delete, t.Scan, t.Recover, t.Len), nil
+	case "P-Masstree":
+		t := masstree.New(heap)
+		return wrap(t.Insert, t.Lookup, t.Delete, t.Scan, t.Recover, t.Len), nil
+	case "FAST & FAIR":
+		t := fastfair.New(heap, kind)
+		return wrap(t.Insert, t.Lookup, t.Delete, t.Scan, t.Recover, t.Len), nil
+	case "WOART":
+		t := woart.New(heap)
+		return wrap(t.Insert, t.Lookup, t.Delete, t.Scan, t.Recover, t.Len), nil
+	default:
+		return nil, fmt.Errorf("core: unknown ordered index %q", name)
+	}
+}
+
+// hashAdapter lifts the hash tables into HashIndex.
+type hashAdapter struct {
+	insert func(uint64, uint64) error
+	lookup func(uint64) (uint64, bool)
+	del    func(uint64) (bool, error)
+	rec    func() error
+	length func() int
+}
+
+func (a *hashAdapter) Insert(k, v uint64) error       { return a.insert(k, v) }
+func (a *hashAdapter) Lookup(k uint64) (uint64, bool) { return a.lookup(k) }
+func (a *hashAdapter) Delete(k uint64) (bool, error)  { return a.del(k) }
+func (a *hashAdapter) Recover() error                 { return a.rec() }
+func (a *hashAdapter) Len() int                       { return a.length() }
+
+// NewHash constructs the named unordered index on heap.
+func NewHash(name string, heap *pmem.Heap) (HashIndex, error) {
+	switch name {
+	case "P-CLHT":
+		t := clht.New(heap)
+		return &hashAdapter{t.Insert, t.Lookup, t.Delete, func() error { t.Recover(); return nil }, t.Len}, nil
+	case "CCEH":
+		t := cceh.New(heap)
+		return &hashAdapter{t.Insert, t.Lookup, t.Delete, t.Recover, t.Len}, nil
+	case "Level Hashing":
+		t := levelhash.New(heap)
+		return &hashAdapter{t.Insert, t.Lookup, t.Delete, func() error { t.Recover(); return nil }, t.Len}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown hash index %q", name)
+	}
+}
+
+// Table1 renders the paper's Table 1 (categorising the converted DRAM
+// indexes with the paper's reported LOC figures).
+func Table1() string {
+	s := "DRAM Index | Data Structure  | Condition | Orig   | Core  | Modified\n"
+	s += "-----------+-----------------+-----------+--------+-------+----------\n"
+	for _, i := range Converted {
+		s += fmt.Sprintf("%-10s | %-15s | %-9s | %-6s | %-5s | %s\n",
+			i.Source, i.Structure, i.Condition, i.PaperOrigLOC, i.PaperCoreLOC, i.PaperModLOC)
+	}
+	return s
+}
+
+// Table2 renders the paper's Table 2 (conversion actions and
+// synchronisation).
+func Table2() string {
+	s := "DRAM Index | Reader        | Writer        | Non-SMO | SMO\n"
+	s += "-----------+---------------+---------------+---------+-----\n"
+	for _, i := range Converted {
+		s += fmt.Sprintf("%-10s | %-13s | %-13s | %-7s | %s\n",
+			i.Source, i.Reader, i.Writer, i.NonSMO, i.SMO)
+	}
+	return s
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/keys"
+	"repro/internal/pmem"
+)
+
+func TestNewOrderedAllNames(t *testing.T) {
+	for _, name := range append(append([]string(nil), OrderedNames...), "WOART") {
+		for _, kind := range []keys.Kind{keys.RandInt, keys.YCSBString} {
+			heap := pmem.NewFast()
+			idx, err := NewOrdered(name, heap, kind)
+			if err != nil {
+				t.Fatalf("NewOrdered(%q): %v", name, err)
+			}
+			gen := keys.NewGenerator(kind)
+			for i := uint64(0); i < 500; i++ {
+				if err := idx.Insert(gen.Key(i), i); err != nil {
+					t.Fatalf("%s insert: %v", name, err)
+				}
+			}
+			for i := uint64(0); i < 500; i++ {
+				if v, ok := idx.Lookup(gen.Key(i)); !ok || v != i {
+					t.Fatalf("%s lookup %d = %d,%v", name, i, v, ok)
+				}
+			}
+			if idx.Len() != 500 {
+				t.Fatalf("%s Len = %d", name, idx.Len())
+			}
+			if del, err := idx.Delete(gen.Key(7)); err != nil || !del {
+				t.Fatalf("%s delete = %v,%v", name, del, err)
+			}
+			n := idx.Scan(nil, 10, func([]byte, uint64) bool { return true })
+			if n != 10 {
+				t.Fatalf("%s scan visited %d", name, n)
+			}
+			if err := idx.Recover(); err != nil {
+				t.Fatalf("%s recover: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestNewHashAllNames(t *testing.T) {
+	for _, name := range HashNames {
+		heap := pmem.NewFast()
+		idx, err := NewHash(name, heap)
+		if err != nil {
+			t.Fatalf("NewHash(%q): %v", name, err)
+		}
+		for i := uint64(1); i <= 500; i++ {
+			if err := idx.Insert(i, i*2); err != nil {
+				t.Fatalf("%s insert: %v", name, err)
+			}
+		}
+		for i := uint64(1); i <= 500; i++ {
+			if v, ok := idx.Lookup(i); !ok || v != i*2 {
+				t.Fatalf("%s lookup %d = %d,%v", name, i, v, ok)
+			}
+		}
+		if del, err := idx.Delete(3); err != nil || !del {
+			t.Fatalf("%s delete = %v,%v", name, del, err)
+		}
+		if err := idx.Recover(); err != nil {
+			t.Fatalf("%s recover: %v", name, err)
+		}
+	}
+}
+
+func TestUnknownNames(t *testing.T) {
+	if _, err := NewOrdered("nope", pmem.NewFast(), keys.RandInt); err == nil {
+		t.Fatal("unknown ordered name accepted")
+	}
+	if _, err := NewHash("nope", pmem.NewFast()); err == nil {
+		t.Fatal("unknown hash name accepted")
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	if Cond1.String() != "#1" || Cond2.String() != "#2" || Cond3.String() != "#3" || NotApplicable.String() != "-" {
+		t.Fatal("Condition.String mismatch")
+	}
+}
+
+func TestTables(t *testing.T) {
+	t1 := Table1()
+	for _, want := range []string{"CLHT", "HOT", "BwTree", "ART", "Masstree", "30 (1%)", "200 (9%)"} {
+		if !strings.Contains(t1, want) {
+			t.Fatalf("Table1 missing %q", want)
+		}
+	}
+	t2 := Table2()
+	for _, want := range []string{"Non-blocking", "Blocking", "#1", "#2", "#3"} {
+		if !strings.Contains(t2, want) {
+			t.Fatalf("Table2 missing %q", want)
+		}
+	}
+}
+
+func TestMetadataConsistency(t *testing.T) {
+	if len(Converted) != 5 {
+		t.Fatalf("expected 5 converted indexes, got %d", len(Converted))
+	}
+	for _, i := range Converted {
+		if !i.Recipe {
+			t.Fatalf("%s not marked as RECIPE conversion", i.Name)
+		}
+		if i.NonSMO != Cond1 {
+			t.Fatalf("%s non-SMO condition should be #1 (Table 2)", i.Name)
+		}
+		if i.Condition != i.SMO {
+			t.Fatalf("%s overall condition should match its SMO condition", i.Name)
+		}
+	}
+	for _, n := range OrderedNames {
+		heap := pmem.NewFast()
+		if _, err := NewOrdered(n, heap, keys.RandInt); err != nil {
+			t.Fatalf("OrderedNames entry %q not constructible: %v", n, err)
+		}
+	}
+	for _, n := range HashNames {
+		heap := pmem.NewFast()
+		if _, err := NewHash(n, heap); err != nil {
+			t.Fatalf("HashNames entry %q not constructible: %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package crash
+
+import (
+	"errors"
+	"testing"
+)
+
+// run executes f, converting a crash Signal into ErrCrashed, the way an
+// index entry point does.
+func run(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = Recover(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+func TestNilInjectorNeverCrashes(t *testing.T) {
+	var in *Injector
+	err := run(func() {
+		for i := 0; i < 1000; i++ {
+			in.Here("site")
+		}
+	})
+	if err != nil {
+		t.Fatalf("nil injector crashed: %v", err)
+	}
+}
+
+func TestNthCrashesExactlyOnce(t *testing.T) {
+	in := NewNth(3)
+	visits := 0
+	err := run(func() {
+		for i := 0; i < 10; i++ {
+			visits++
+			in.Here("s")
+		}
+	})
+	if !IsCrash(err) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if visits != 3 {
+		t.Fatalf("crashed after %d visits, want 3", visits)
+	}
+	if !in.Fired() {
+		t.Fatal("Fired() = false after crash")
+	}
+	// Subsequent visits never crash again (one-shot).
+	err = run(func() {
+		for i := 0; i < 10; i++ {
+			in.Here("s")
+		}
+	})
+	if err != nil {
+		t.Fatalf("one-shot injector crashed twice: %v", err)
+	}
+}
+
+func TestNthBeyondVisitsNeverFires(t *testing.T) {
+	in := NewNth(100)
+	err := run(func() {
+		for i := 0; i < 5; i++ {
+			in.Here("s")
+		}
+	})
+	if err != nil {
+		t.Fatalf("unexpected crash: %v", err)
+	}
+	if in.Fired() {
+		t.Fatal("should not have fired")
+	}
+	if in.Visits() != 5 {
+		t.Fatalf("Visits() = %d, want 5", in.Visits())
+	}
+}
+
+func TestAtSite(t *testing.T) {
+	in := NewAtSite("b", 2)
+	seq := []string{"a", "b", "a", "b", "b"}
+	fired := ""
+	err := run(func() {
+		for _, s := range seq {
+			fired = s
+			in.Here(s)
+		}
+	})
+	if !IsCrash(err) {
+		t.Fatalf("err = %v, want crash", err)
+	}
+	if fired != "b" {
+		t.Fatalf("crashed at %q, want second visit of b", fired)
+	}
+}
+
+func TestProbabilisticEventuallyFires(t *testing.T) {
+	in := NewProbabilistic(0.5, 42)
+	err := run(func() {
+		for i := 0; i < 10000; i++ {
+			in.Here("s")
+		}
+	})
+	if !IsCrash(err) {
+		t.Fatalf("p=0.5 injector never fired in 10000 visits: %v", err)
+	}
+}
+
+func TestProbabilisticZeroNeverFires(t *testing.T) {
+	in := NewProbabilistic(0, 1)
+	err := run(func() {
+		for i := 0; i < 1000; i++ {
+			in.Here("s")
+		}
+	})
+	if err != nil {
+		t.Fatalf("p=0 injector fired: %v", err)
+	}
+}
+
+func TestSitesCoverage(t *testing.T) {
+	in := NewNth(1 << 30) // never fires
+	_ = run(func() {
+		in.Here("x")
+		in.Here("x")
+		in.Here("y")
+	})
+	sites := in.Sites()
+	if sites["x"] != 2 || sites["y"] != 1 {
+		t.Fatalf("Sites() = %v, want x:2 y:1", sites)
+	}
+}
+
+func TestRecoverRepanicsOnForeignPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Recover swallowed a non-crash panic")
+		}
+	}()
+	_ = run(func() { panic(errors.New("unrelated")) })
+}

@@ -1,0 +1,491 @@
+package fastfair
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crash"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+)
+
+func newInt() *Tree    { return New(pmem.NewFast(), keys.RandInt) }
+func newString() *Tree { return New(pmem.NewFast(), keys.YCSBString) }
+
+func k64(v uint64) []byte { return keys.EncodeUint64(v) }
+
+func mustInsert(t testing.TB, tr *Tree, key []byte, v uint64) {
+	t.Helper()
+	if err := tr.Insert(key, v); err != nil {
+		t.Fatalf("Insert(%x): %v", key, err)
+	}
+}
+
+func TestBasicIntKeys(t *testing.T) {
+	tr := newInt()
+	mustInsert(t, tr, k64(10), 100)
+	if v, ok := tr.Lookup(k64(10)); !ok || v != 100 {
+		t.Fatalf("Lookup = %d,%v", v, ok)
+	}
+	if _, ok := tr.Lookup(k64(11)); ok {
+		t.Fatal("phantom key")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestBadIntKeySize(t *testing.T) {
+	tr := newInt()
+	if err := tr.Insert([]byte("short"), 1); err != ErrKeySize {
+		t.Fatalf("Insert short key err = %v", err)
+	}
+	if _, ok := tr.Lookup([]byte("short")); ok {
+		t.Fatal("short key lookup hit")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tr := newInt()
+	mustInsert(t, tr, k64(1), 1)
+	mustInsert(t, tr, k64(1), 2)
+	if v, _ := tr.Lookup(k64(1)); v != 2 {
+		t.Fatalf("updated value = %d", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after update", tr.Len())
+	}
+}
+
+func TestSplitsManyKeys(t *testing.T) {
+	tr := newInt()
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		mustInsert(t, tr, k64(keys.Mix64(i)), i)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := tr.Lookup(k64(keys.Mix64(i))); !ok || v != i {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestSequentialInsertAscendingDescending(t *testing.T) {
+	up := newInt()
+	down := newInt()
+	const n = 5000
+	for i := uint64(0); i < n; i++ {
+		mustInsert(t, up, k64(i), i)
+		mustInsert(t, down, k64(n-1-i), n-1-i)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := up.Lookup(k64(i)); !ok || v != i {
+			t.Fatalf("asc Lookup(%d) = %d,%v", i, v, ok)
+		}
+		if v, ok := down.Lookup(k64(i)); !ok || v != i {
+			t.Fatalf("desc Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := newString()
+	gen := keys.NewGenerator(keys.YCSBString)
+	const n = 5000
+	for i := uint64(0); i < n; i++ {
+		mustInsert(t, tr, gen.Key(i), i)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := tr.Lookup(gen.Key(i)); !ok || v != i {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newInt()
+	for i := uint64(0); i < 500; i++ {
+		mustInsert(t, tr, k64(i), i)
+	}
+	for i := uint64(0); i < 500; i += 2 {
+		del, err := tr.Delete(k64(i))
+		if err != nil || !del {
+			t.Fatalf("Delete(%d) = %v,%v", i, del, err)
+		}
+	}
+	if del, _ := tr.Delete(k64(0)); del {
+		t.Fatal("double delete reported success")
+	}
+	for i := uint64(0); i < 500; i++ {
+		_, ok := tr.Lookup(k64(i))
+		if i%2 == 0 && ok {
+			t.Fatalf("deleted %d still present", i)
+		}
+		if i%2 == 1 && !ok {
+			t.Fatalf("survivor %d missing", i)
+		}
+	}
+}
+
+func TestScanFull(t *testing.T) {
+	tr := newInt()
+	var want []uint64
+	for i := 0; i < 3000; i++ {
+		v := keys.Mix64(uint64(i))
+		mustInsert(t, tr, k64(v), v)
+		want = append(want, v)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	var got []uint64
+	tr.Scan(nil, 0, func(k []byte, v uint64) bool {
+		got = append(got, keys.DecodeUint64(k))
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("scan count = %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanRangeBounded(t *testing.T) {
+	tr := newInt()
+	for i := uint64(0); i < 1000; i++ {
+		mustInsert(t, tr, k64(i*3), i*3)
+	}
+	var got []uint64
+	n := tr.Scan(k64(100), 7, func(k []byte, v uint64) bool {
+		got = append(got, keys.DecodeUint64(k))
+		return true
+	})
+	if n != 7 {
+		t.Fatalf("visited %d", n)
+	}
+	want := uint64(102) // first multiple of 3 >= 100
+	for i, g := range got {
+		if g != want+uint64(i)*3 {
+			t.Fatalf("scan[%d] = %d want %d", i, g, want+uint64(i)*3)
+		}
+	}
+}
+
+func TestScanStringKeys(t *testing.T) {
+	tr := newString()
+	gen := keys.NewGenerator(keys.YCSBString)
+	kset := make([]string, 0, 500)
+	for i := uint64(0); i < 500; i++ {
+		k := gen.Key(i)
+		mustInsert(t, tr, k, i)
+		kset = append(kset, string(k))
+	}
+	sort.Strings(kset)
+	var got []string
+	tr.Scan(nil, 0, func(k []byte, v uint64) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != len(kset) {
+		t.Fatalf("scan count %d want %d", len(got), len(kset))
+	}
+	for i := range kset {
+		if got[i] != kset[i] {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func TestOracleRandom(t *testing.T) {
+	tr := newInt()
+	oracle := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30000; i++ {
+		k := uint64(rng.Intn(3000))
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := rng.Uint64()
+			mustInsert(t, tr, k64(k), v)
+			oracle[k] = v
+		case 2:
+			if _, err := tr.Delete(k64(k)); err != nil {
+				t.Fatal(err)
+			}
+			delete(oracle, k)
+		default:
+			v, ok := tr.Lookup(k64(k))
+			ov, ook := oracle[k]
+			if ok != ook || (ok && v != ov) {
+				t.Fatalf("Lookup(%d) = %d,%v oracle %d,%v", k, v, ok, ov, ook)
+			}
+		}
+	}
+	for k, ov := range oracle {
+		if v, ok := tr.Lookup(k64(k)); !ok || v != ov {
+			t.Fatalf("final Lookup(%d) = %d,%v want %d", k, v, ok, ov)
+		}
+	}
+}
+
+// Property: scans always return sorted, duplicate-free results matching
+// the inserted set.
+func TestQuickScanSortedUnique(t *testing.T) {
+	f := func(vals []uint64) bool {
+		tr := newInt()
+		set := make(map[uint64]bool)
+		for _, v := range vals {
+			if tr.Insert(k64(v), v) != nil {
+				return false
+			}
+			set[v] = true
+		}
+		var got []uint64
+		tr.Scan(nil, 0, func(k []byte, v uint64) bool {
+			got = append(got, keys.DecodeUint64(k))
+			return true
+		})
+		if len(got) != len(set) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentInserts(t *testing.T) {
+	tr := newInt()
+	const threads = 8
+	const per = 4000
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := uint64(g*per + i)
+				k := k64(keys.Mix64(id))
+				if err := tr.Insert(k, id); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if v, ok := tr.Lookup(k); !ok || v != id {
+					t.Errorf("readback %d = %d,%v", id, v, ok)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != threads*per {
+		t.Fatalf("Len = %d want %d", tr.Len(), threads*per)
+	}
+	for id := uint64(0); id < threads*per; id += 111 {
+		if v, ok := tr.Lookup(k64(keys.Mix64(id))); !ok || v != id {
+			t.Fatalf("final lookup %d = %d,%v", id, v, ok)
+		}
+	}
+}
+
+func TestConcurrentReadersWriters(t *testing.T) {
+	tr := newInt()
+	for i := uint64(0); i < 5000; i++ {
+		mustInsert(t, tr, k64(i), i)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			i := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := i % 5000
+				if v, ok := tr.Lookup(k64(k)); ok && v != k {
+					t.Errorf("reader saw %d for key %d", v, k)
+					return
+				}
+				i++
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr.Scan(k64(100), 50, func([]byte, uint64) bool { return true })
+		}
+	}()
+	for i := uint64(5000); i < 15000; i++ {
+		mustInsert(t, tr, k64(i), i)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// §5 crash testing: enumerate crash states during a write-heavy load;
+// verify no committed key is lost and the tree stays writable. This
+// passes because the port includes interrupted-split completion; the
+// published artifact had bugs here (§7.5), reproduced separately via the
+// Faithful durability mode below.
+func TestCrashRecoveryEnumerated(t *testing.T) {
+	for n := int64(1); ; n++ {
+		heap := pmem.NewFast()
+		tr := New(heap, keys.RandInt)
+		inj := crash.NewNth(n)
+		heap.SetInjector(inj)
+		committed := make(map[uint64]uint64)
+		crashed := false
+		for id := uint64(0); id < 600; id++ {
+			k := keys.Mix64(id)
+			err := tr.Insert(k64(k), id)
+			if crash.IsCrash(err) {
+				crashed = true
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed[k] = id
+		}
+		heap.SetInjector(nil)
+		if !crashed {
+			if n == 1 {
+				t.Fatal("no crash sites reached")
+			}
+			t.Logf("enumerated %d crash states", n-1)
+			break
+		}
+		tr.Recover()
+		for k, v := range committed {
+			got, ok := tr.Lookup(k64(k))
+			if !ok || got != v {
+				t.Fatalf("crash state %d: committed key %d lost (%d,%v)", n, k, got, ok)
+			}
+		}
+		for id := uint64(100000); id < 100100; id++ {
+			if err := tr.Insert(k64(id), id); err != nil {
+				t.Fatalf("crash state %d: post-crash insert: %v", n, err)
+			}
+		}
+	}
+}
+
+// §7.5 durability finding: FAST & FAIR does not persist the initial node
+// allocation holding the root pointer. Faithful mode reproduces the bug,
+// Fixed mode persists it.
+func TestDurabilityInitialAllocationBug(t *testing.T) {
+	heapF := pmem.New(pmem.Options{Track: true})
+	NewWithMode(heapF, keys.RandInt, Faithful)
+	if v := heapF.Tracker().Check(); len(v) == 0 {
+		t.Fatal("Faithful mode should leave the initial allocation unpersisted (the published bug)")
+	}
+	heapX := pmem.New(pmem.Options{Track: true})
+	NewWithMode(heapX, keys.RandInt, Fixed)
+	if v := heapX.Tracker().Check(); len(v) != 0 {
+		t.Fatalf("Fixed mode left unpersisted lines: %v", v)
+	}
+}
+
+func TestDurabilityFlushCoverage(t *testing.T) {
+	heap := pmem.New(pmem.Options{Track: true})
+	tr := NewWithMode(heap, keys.RandInt, Fixed)
+	for i := uint64(0); i < 400; i++ {
+		mustInsert(t, tr, k64(keys.Mix64(i)), i)
+		if v := heap.Tracker().Check(); len(v) != 0 {
+			t.Fatalf("insert %d left unpersisted lines: %v", i, v)
+		}
+	}
+	for i := uint64(0); i < 400; i += 3 {
+		if _, err := tr.Delete(k64(keys.Mix64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if v := heap.Tracker().Check(); len(v) != 0 {
+			t.Fatalf("delete %d left unpersisted lines: %v", i, v)
+		}
+	}
+}
+
+// The paper's §3 observation: repeated crashes during splits degrade the
+// tree (parents never learn about siblings, so chains grow), but in a
+// correct implementation no data may be lost. Verify data survives many
+// mid-split crashes even though structure degrades.
+func TestRepeatedSplitCrashesLoseNothing(t *testing.T) {
+	heap := pmem.NewFast()
+	tr := New(heap, keys.RandInt)
+	committed := make(map[uint64]uint64)
+	id := uint64(0)
+	for round := 0; round < 30; round++ {
+		inj := crash.NewAtSite("ff.split.linked", 1)
+		heap.SetInjector(inj)
+		for i := 0; i < 200; i++ {
+			k := keys.Mix64(id)
+			err := tr.Insert(k64(k), id)
+			if crash.IsCrash(err) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed[k] = id
+			id++
+		}
+		heap.SetInjector(nil)
+		tr.Recover()
+	}
+	for k, v := range committed {
+		if got, ok := tr.Lookup(k64(k)); !ok || got != v {
+			t.Fatalf("key %d lost after repeated split crashes (%d,%v)", k, got, ok)
+		}
+	}
+}
+
+func BenchmarkInsertInt(b *testing.B) {
+	tr := newInt()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(k64(keys.Mix64(uint64(i))), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookupInt(b *testing.B) {
+	tr := newInt()
+	const n = 1 << 16
+	for i := uint64(0); i < n; i++ {
+		if err := tr.Insert(k64(keys.Mix64(i)), i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tr.Lookup(k64(keys.Mix64(uint64(i) % n))); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

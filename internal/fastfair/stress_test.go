@@ -1,0 +1,82 @@
+package fastfair
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/keys"
+	"repro/internal/pmem"
+)
+
+// leftmostLeaf walks to the leftmost leaf of the tree (diagnostics).
+func (t *Tree) leftmostLeaf() *node {
+	n := t.root.Load()
+	for !n.leaf {
+		n = n.leftmost.Load()
+	}
+	return n
+}
+
+// findViaChain scans the entire leaf chain for a stored key, ignoring
+// inner-node routing (diagnostics).
+func (t *Tree) findViaChain(key []byte) (uint64, bool) {
+	for n := t.leftmostLeaf(); n != nil; n = n.sibling.Load() {
+		for i := 0; i < Cardinality; i++ {
+			v := n.vals[i].Load()
+			if v == nil {
+				break
+			}
+			if t.cmpProbe(key, n.keys[i].Load()) == 0 {
+				return v.v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// TestKnownIssueConcurrentLoadLoss documents a rare routing loss under
+// heavily concurrent insert storms: a key ends up reachable through the
+// leaf sibling chain but not through inner-node routing. This is the
+// data-loss failure class §3 of the RECIPE paper reports for FAST & FAIR
+// ("concurrent writes could lead to loss of a successfully written key",
+// confirmed by the original authors as a design-level bug); the port
+// reproduces it at low probability under the race detector's scheduling
+// perturbation. The test records occurrences without failing, since the
+// behaviour is a property of the baseline being reproduced; the RECIPE
+// conversions pass the same storm (see their package tests).
+func TestKnownIssueConcurrentLoadLoss(t *testing.T) {
+	lost := 0
+	for round := 0; round < 10; round++ {
+		tr := New(pmem.NewFast(), keys.RandInt)
+		const threads = 8
+		const per = 2500
+		var wg sync.WaitGroup
+		for g := 0; g < threads; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					id := uint64(g*per + i)
+					if err := tr.Insert(k64(keys.Mix64(id)), id); err != nil {
+						t.Errorf("insert: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for id := uint64(0); id < threads*per; id++ {
+			if _, ok := tr.Lookup(k64(keys.Mix64(id))); !ok {
+				if _, chainOK := tr.findViaChain(k64(keys.Mix64(id))); chainOK {
+					lost++ // present in the chain, unreachable via routing
+					continue
+				}
+				t.Fatalf("round %d: key id %d fully lost (not even in the chain)", round, id)
+			}
+		}
+	}
+	if lost > 0 {
+		t.Logf("known issue reproduced: %d keys unreachable via routing (the §3 data-loss class)", lost)
+	}
+}

@@ -1,0 +1,427 @@
+// Package harness executes the paper's experiments: multi-threaded YCSB
+// runs with per-operation performance counters (Figs 4 and 5, Table 4),
+// the §5/§7.5 crash-recovery campaigns, and the §5 durability test.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crash"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+	"repro/internal/ycsb"
+)
+
+// Result is one (index, workload) measurement.
+type Result struct {
+	Index    string
+	Workload string
+	KeyKind  keys.Kind
+	Threads  int
+	Ops      int
+	Elapsed  time.Duration
+	// Stats is the heap-counter delta over the measured phase.
+	Stats pmem.Stats
+	// Inserts counts insert operations in the measured phase (for
+	// clwb/mfence-per-insert columns).
+	Inserts int
+}
+
+// MopsPerSec returns throughput in million operations per second.
+func (r Result) MopsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+}
+
+// ClwbPerInsert returns average clwb instructions per insert.
+func (r Result) ClwbPerInsert() float64 {
+	if r.Inserts == 0 {
+		return 0
+	}
+	return float64(r.Stats.Clwb) / float64(r.Inserts)
+}
+
+// FencePerInsert returns average mfence instructions per insert.
+func (r Result) FencePerInsert() float64 {
+	if r.Inserts == 0 {
+		return 0
+	}
+	return float64(r.Stats.Fence) / float64(r.Inserts)
+}
+
+// LLCMissPerOp returns average simulated LLC misses per operation.
+func (r Result) LLCMissPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Stats.LLC.Misses) / float64(r.Ops)
+}
+
+// RunOrdered loads loadN keys into idx and then executes the workload
+// plan across its threads, returning measured-phase results. The load
+// phase mirrors the paper: populate with Load A, then run the respective
+// workload (§7).
+func RunOrdered(name string, idx core.OrderedIndex, gen *keys.Generator, heap *pmem.Heap, w ycsb.Workload, loadN, opN, threads int, seed int64) (Result, error) {
+	load := ycsb.GenerateLoad(loadN, threads)
+	if err := execOrdered(idx, gen, load); err != nil {
+		return Result{}, fmt.Errorf("load phase: %w", err)
+	}
+	plan := ycsb.Generate(w, loadN, opN, threads, seed)
+	before := heap.Stats()
+	start := time.Now()
+	if err := execOrdered(idx, gen, plan); err != nil {
+		return Result{}, fmt.Errorf("run phase: %w", err)
+	}
+	elapsed := time.Since(start)
+	res := Result{
+		Index: name, Workload: w.Name, KeyKind: gen.Kind(), Threads: threads,
+		Ops: plan.TotalOps(), Elapsed: elapsed, Stats: heap.Stats().Sub(before),
+		Inserts: countInserts(plan),
+	}
+	return res, nil
+}
+
+// RunHash is RunOrdered for unordered indexes (integer keys only, as in
+// the paper; scan ops are invalid).
+func RunHash(name string, idx core.HashIndex, gen *keys.Generator, heap *pmem.Heap, w ycsb.Workload, loadN, opN, threads int, seed int64) (Result, error) {
+	if w.ScanPct > 0 {
+		return Result{}, fmt.Errorf("harness: workload %s has scans; unordered indexes do not support them", w.Name)
+	}
+	load := ycsb.GenerateLoad(loadN, threads)
+	if err := execHash(idx, gen, load); err != nil {
+		return Result{}, fmt.Errorf("load phase: %w", err)
+	}
+	plan := ycsb.Generate(w, loadN, opN, threads, seed)
+	before := heap.Stats()
+	start := time.Now()
+	if err := execHash(idx, gen, plan); err != nil {
+		return Result{}, fmt.Errorf("run phase: %w", err)
+	}
+	elapsed := time.Since(start)
+	return Result{
+		Index: name, Workload: w.Name, KeyKind: gen.Kind(), Threads: threads,
+		Ops: plan.TotalOps(), Elapsed: elapsed, Stats: heap.Stats().Sub(before),
+		Inserts: countInserts(plan),
+	}, nil
+}
+
+func countInserts(p *ycsb.Plan) int {
+	n := 0
+	for _, ops := range p.Threads {
+		for _, op := range ops {
+			if op.Kind == ycsb.OpInsert {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// execOrdered runs a plan against an ordered index, one goroutine per
+// thread stream.
+func execOrdered(idx core.OrderedIndex, gen *keys.Generator, plan *ycsb.Plan) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(plan.Threads))
+	for t := range plan.Threads {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 0, 32)
+			for _, op := range plan.Threads[t] {
+				buf = gen.AppendKey(buf[:0], op.ID)
+				switch op.Kind {
+				case ycsb.OpInsert:
+					if err := idx.Insert(buf, op.ID); err != nil {
+						errs[t] = fmt.Errorf("insert id %d: %w", op.ID, err)
+						return
+					}
+				case ycsb.OpRead:
+					if v, ok := idx.Lookup(buf); !ok || v != op.ID {
+						errs[t] = fmt.Errorf("read id %d: got %d,%v", op.ID, v, ok)
+						return
+					}
+				case ycsb.OpScan:
+					idx.Scan(buf, op.ScanLen, func([]byte, uint64) bool { return true })
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execHash runs a plan against an unordered index.
+func execHash(idx core.HashIndex, gen *keys.Generator, plan *ycsb.Plan) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(plan.Threads))
+	for t := range plan.Threads {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, op := range plan.Threads[t] {
+				k := gen.Uint64(op.ID) | 1 // hash tables reserve key 0
+				switch op.Kind {
+				case ycsb.OpInsert:
+					if err := idx.Insert(k, op.ID); err != nil {
+						errs[t] = fmt.Errorf("insert id %d: %w", op.ID, err)
+						return
+					}
+				case ycsb.OpRead:
+					if v, ok := idx.Lookup(k); !ok || v != op.ID {
+						errs[t] = fmt.Errorf("read id %d: got %d,%v", op.ID, v, ok)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CrashReport summarises a §7.5 crash-recovery campaign.
+type CrashReport struct {
+	Index string
+	// States is the number of distinct crash states exercised.
+	States int
+	// Crashed counts states where a crash actually fired during load.
+	Crashed int
+	// LostKeys counts committed keys unreadable after recovery.
+	LostKeys int
+	// WriteFailures counts post-crash writes that failed.
+	WriteFailures int
+	// RecoveryFailures counts recovery calls that returned an error (the
+	// CCEH Faithful-mode recovery stall surfaces here).
+	RecoveryFailures int
+}
+
+// Pass reports whether the campaign found no crash-consistency failures.
+func (r CrashReport) Pass() bool {
+	return r.LostKeys == 0 && r.WriteFailures == 0 && r.RecoveryFailures == 0
+}
+
+func (r CrashReport) String() string {
+	verdict := "PASS"
+	if !r.Pass() {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%-12s states=%d crashed=%d lost=%d writeFail=%d recoveryFail=%d  %s",
+		r.Index, r.States, r.Crashed, r.LostKeys, r.WriteFailures, r.RecoveryFailures, verdict)
+}
+
+// CrashCampaignOrdered reproduces §7.5 for an ordered index: for each of
+// states trials, load loadN entries with a probabilistic crash armed,
+// recover, run a mixed insert/read phase with `threads` concurrent
+// threads, and finally read back every committed key.
+func CrashCampaignOrdered(name string, factory func(*pmem.Heap) core.OrderedIndex, kind keys.Kind, states, loadN, mixedN, threads int) CrashReport {
+	gen := keys.NewGenerator(kind)
+	rep := CrashReport{Index: name}
+	for s := 0; s < states; s++ {
+		rep.States++
+		heap := pmem.NewFast()
+		idx := factory(heap)
+		heap.SetInjector(crash.NewProbabilistic(0.002, int64(s)+1))
+		committed := make(map[uint64]uint64, loadN)
+		for i := 0; i < loadN; i++ {
+			id := uint64(i)
+			err := idx.Insert(gen.Key(id), id)
+			if crash.IsCrash(err) {
+				rep.Crashed++
+				break
+			}
+			if err != nil {
+				rep.WriteFailures++
+				break
+			}
+			committed[id] = id
+		}
+		heap.SetInjector(nil)
+		if err := idx.Recover(); err != nil {
+			rep.RecoveryFailures++
+			continue
+		}
+		// Mixed phase: concurrent inserts and reads.
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for t := 0; t < threads; t++ {
+			t := t
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				base := uint64(1_000_000 + s*100_000 + t*10_000)
+				for i := 0; i < mixedN/threads; i++ {
+					id := base + uint64(i)
+					if i%2 == 0 {
+						if err := idx.Insert(gen.Key(id), id); err != nil {
+							mu.Lock()
+							rep.WriteFailures++
+							mu.Unlock()
+							return
+						}
+						mu.Lock()
+						committed[id] = id
+						mu.Unlock()
+					} else {
+						idx.Lookup(gen.Key(id - 1))
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for id, v := range committed {
+			if got, ok := idx.Lookup(gen.Key(id)); !ok || got != v {
+				rep.LostKeys++
+			}
+		}
+	}
+	return rep
+}
+
+// CrashCampaignHash is CrashCampaignOrdered for unordered indexes.
+func CrashCampaignHash(name string, factory func(*pmem.Heap) core.HashIndex, states, loadN, mixedN, threads int) CrashReport {
+	gen := keys.NewGenerator(keys.RandInt)
+	rep := CrashReport{Index: name}
+	for s := 0; s < states; s++ {
+		rep.States++
+		heap := pmem.NewFast()
+		idx := factory(heap)
+		heap.SetInjector(crash.NewProbabilistic(0.002, int64(s)+1))
+		committed := make(map[uint64]uint64, loadN)
+		for i := 0; i < loadN; i++ {
+			k := gen.Uint64(uint64(i)) | 1
+			err := idx.Insert(k, uint64(i))
+			if crash.IsCrash(err) {
+				rep.Crashed++
+				break
+			}
+			if err != nil {
+				rep.WriteFailures++
+				break
+			}
+			committed[k] = uint64(i)
+		}
+		heap.SetInjector(nil)
+		if err := idx.Recover(); err != nil {
+			rep.RecoveryFailures++
+			continue
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for t := 0; t < threads; t++ {
+			t := t
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				base := uint64(1_000_000 + s*100_000 + t*10_000)
+				for i := 0; i < mixedN/threads; i++ {
+					k := gen.Uint64(base+uint64(i)) | 1
+					if i%2 == 0 {
+						if err := idx.Insert(k, base+uint64(i)); err != nil {
+							mu.Lock()
+							rep.WriteFailures++
+							mu.Unlock()
+							return
+						}
+						mu.Lock()
+						committed[k] = base + uint64(i)
+						mu.Unlock()
+					} else {
+						idx.Lookup(k)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for k, v := range committed {
+			if got, ok := idx.Lookup(k); !ok || got != v {
+				rep.LostKeys++
+			}
+		}
+	}
+	return rep
+}
+
+// DurabilityReport summarises a §5 durability test.
+type DurabilityReport struct {
+	Index string
+	// ConstructorViolations are lines left unpersisted by index creation
+	// (the FAST & FAIR / CCEH finding of §7.5).
+	ConstructorViolations int
+	// OpViolations are lines left unpersisted at operation boundaries.
+	OpViolations int
+	Ops          int
+}
+
+// Pass reports full flush coverage.
+func (r DurabilityReport) Pass() bool {
+	return r.ConstructorViolations == 0 && r.OpViolations == 0
+}
+
+func (r DurabilityReport) String() string {
+	verdict := "PASS"
+	if !r.Pass() {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%-12s ops=%d ctorViolations=%d opViolations=%d  %s",
+		r.Index, r.Ops, r.ConstructorViolations, r.OpViolations, verdict)
+}
+
+// DurabilityOrdered checks that every dirtied cache line is flushed and
+// fenced by the time each operation returns (§5, "testing durability").
+func DurabilityOrdered(name string, factory func(*pmem.Heap) core.OrderedIndex, kind keys.Kind, n int) DurabilityReport {
+	heap := pmem.New(pmem.Options{Track: true})
+	idx := factory(heap)
+	rep := DurabilityReport{Index: name, Ops: n}
+	rep.ConstructorViolations = len(heap.Tracker().Check())
+	heap.Tracker().Reset()
+	gen := keys.NewGenerator(kind)
+	for i := 0; i < n; i++ {
+		if err := idx.Insert(gen.Key(uint64(i)), uint64(i)); err != nil {
+			rep.OpViolations++
+			continue
+		}
+		if v := heap.Tracker().Check(); len(v) != 0 {
+			rep.OpViolations += len(v)
+			heap.Tracker().Reset()
+		}
+	}
+	return rep
+}
+
+// DurabilityHash is DurabilityOrdered for unordered indexes.
+func DurabilityHash(name string, factory func(*pmem.Heap) core.HashIndex, n int) DurabilityReport {
+	heap := pmem.New(pmem.Options{Track: true})
+	idx := factory(heap)
+	rep := DurabilityReport{Index: name, Ops: n}
+	rep.ConstructorViolations = len(heap.Tracker().Check())
+	heap.Tracker().Reset()
+	gen := keys.NewGenerator(keys.RandInt)
+	for i := 0; i < n; i++ {
+		if err := idx.Insert(gen.Uint64(uint64(i))|1, uint64(i)); err != nil {
+			rep.OpViolations++
+			continue
+		}
+		if v := heap.Tracker().Check(); len(v) != 0 {
+			rep.OpViolations += len(v)
+			heap.Tracker().Reset()
+		}
+	}
+	return rep
+}

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+	"repro/internal/ycsb"
+)
+
+func TestRunOrderedAllWorkloads(t *testing.T) {
+	for _, w := range ycsb.All {
+		heap := pmem.NewFast()
+		idx, err := core.NewOrdered("P-ART", heap, keys.RandInt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := keys.NewGenerator(keys.RandInt)
+		res, err := RunOrdered("P-ART", idx, gen, heap, w, 5000, 5000, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if res.Ops != 5000 {
+			t.Fatalf("%s ops = %d", w.Name, res.Ops)
+		}
+		if res.MopsPerSec() <= 0 {
+			t.Fatalf("%s throughput = %v", w.Name, res.MopsPerSec())
+		}
+		if w.InsertPct > 0 && res.Inserts == 0 {
+			t.Fatalf("%s recorded no inserts", w.Name)
+		}
+		if w.InsertPct > 0 && res.ClwbPerInsert() <= 0 {
+			t.Fatalf("%s clwb/insert = %v", w.Name, res.ClwbPerInsert())
+		}
+	}
+}
+
+func TestRunHash(t *testing.T) {
+	heap := pmem.NewFast()
+	idx, err := core.NewHash("P-CLHT", heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := keys.NewGenerator(keys.RandInt)
+	res, err := RunHash("P-CLHT", idx, gen, heap, ycsb.A, 5000, 5000, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FencePerInsert() <= 0 {
+		t.Fatal("no fences per insert recorded")
+	}
+}
+
+func TestRunHashRejectsScans(t *testing.T) {
+	heap := pmem.NewFast()
+	idx, err := core.NewHash("P-CLHT", heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := keys.NewGenerator(keys.RandInt)
+	if _, err := RunHash("P-CLHT", idx, gen, heap, ycsb.E, 100, 100, 1, 1); err == nil {
+		t.Fatal("workload E accepted by hash runner")
+	}
+}
+
+func TestCrashCampaignOrderedPasses(t *testing.T) {
+	rep := CrashCampaignOrdered("P-ART", func(h *pmem.Heap) core.OrderedIndex {
+		idx, err := core.NewOrdered("P-ART", h, keys.RandInt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}, keys.RandInt, 20, 2000, 2000, 4)
+	if !rep.Pass() {
+		t.Fatalf("P-ART crash campaign failed: %s", rep)
+	}
+	if rep.Crashed == 0 {
+		t.Fatal("no crash state actually crashed; campaign vacuous")
+	}
+	if !strings.Contains(rep.String(), "PASS") {
+		t.Fatalf("report string: %s", rep)
+	}
+}
+
+func TestCrashCampaignHashPasses(t *testing.T) {
+	rep := CrashCampaignHash("P-CLHT", func(h *pmem.Heap) core.HashIndex {
+		idx, err := core.NewHash("P-CLHT", h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}, 20, 2000, 2000, 4)
+	if !rep.Pass() {
+		t.Fatalf("P-CLHT crash campaign failed: %s", rep)
+	}
+	if rep.Crashed == 0 {
+		t.Fatal("no crash fired")
+	}
+}
+
+func TestDurabilityReports(t *testing.T) {
+	rep := DurabilityOrdered("P-Masstree", func(h *pmem.Heap) core.OrderedIndex {
+		idx, err := core.NewOrdered("P-Masstree", h, keys.YCSBString)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}, keys.YCSBString, 500)
+	if !rep.Pass() {
+		t.Fatalf("P-Masstree durability failed: %s", rep)
+	}
+	hrep := DurabilityHash("P-CLHT", func(h *pmem.Heap) core.HashIndex {
+		idx, err := core.NewHash("P-CLHT", h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}, 500)
+	if !hrep.Pass() {
+		t.Fatalf("P-CLHT durability failed: %s", hrep)
+	}
+	if !strings.Contains(hrep.String(), "PASS") {
+		t.Fatalf("report string: %s", hrep)
+	}
+}
+
+func TestResultMetricsZeroSafe(t *testing.T) {
+	var r Result
+	if r.MopsPerSec() != 0 || r.ClwbPerInsert() != 0 || r.FencePerInsert() != 0 || r.LLCMissPerOp() != 0 {
+		t.Fatal("zero Result should produce zero metrics")
+	}
+}

@@ -1,0 +1,394 @@
+package hot
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crash"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+)
+
+func newIdx() *Index { return New(pmem.NewFast()) }
+
+func k64(v uint64) []byte { return keys.EncodeUint64(v) }
+
+func mustInsert(t testing.TB, idx *Index, key []byte, v uint64) {
+	t.Helper()
+	if err := idx.Insert(key, v); err != nil {
+		t.Fatalf("Insert(%x): %v", key, err)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	idx := newIdx()
+	if _, ok := idx.Lookup(k64(1)); ok {
+		t.Fatal("phantom")
+	}
+	if err := idx.Insert(nil, 1); err != ErrEmptyKey {
+		t.Fatalf("err = %v", err)
+	}
+	if n := idx.Scan(nil, 0, func([]byte, uint64) bool { return true }); n != 0 {
+		t.Fatalf("scan visited %d", n)
+	}
+}
+
+func TestBasic(t *testing.T) {
+	idx := newIdx()
+	mustInsert(t, idx, []byte("hello"), 1)
+	if v, ok := idx.Lookup([]byte("hello")); !ok || v != 1 {
+		t.Fatalf("Lookup = %d,%v", v, ok)
+	}
+	if _, ok := idx.Lookup([]byte("hellp")); ok {
+		t.Fatal("phantom")
+	}
+}
+
+func TestUpdateCOW(t *testing.T) {
+	idx := newIdx()
+	mustInsert(t, idx, k64(1), 1)
+	mustInsert(t, idx, k64(1), 2)
+	if v, _ := idx.Lookup(k64(1)); v != 2 {
+		t.Fatalf("v = %d", v)
+	}
+	if idx.Len() != 1 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+}
+
+func TestSplitsGrowTree(t *testing.T) {
+	idx := newIdx()
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		mustInsert(t, idx, k64(keys.Mix64(i)), i)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := idx.Lookup(k64(keys.Mix64(i))); !ok || v != i {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if idx.Len() != n {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	idx := newIdx()
+	gen := keys.NewGenerator(keys.YCSBString)
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		mustInsert(t, idx, gen.Key(i), i)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := idx.Lookup(gen.Key(i)); !ok || v != i {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	idx := newIdx()
+	for i := uint64(0); i < 1000; i++ {
+		mustInsert(t, idx, k64(i), i)
+	}
+	for i := uint64(0); i < 1000; i += 2 {
+		del, err := idx.Delete(k64(i))
+		if err != nil || !del {
+			t.Fatalf("Delete(%d) = %v,%v", i, del, err)
+		}
+	}
+	if del, _ := idx.Delete(k64(0)); del {
+		t.Fatal("double delete")
+	}
+	for i := uint64(0); i < 1000; i++ {
+		_, ok := idx.Lookup(k64(i))
+		if i%2 == 0 && ok {
+			t.Fatalf("deleted %d present", i)
+		}
+		if i%2 == 1 && !ok {
+			t.Fatalf("survivor %d missing", i)
+		}
+	}
+	if idx.Len() != 500 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+}
+
+func TestDeleteLastKey(t *testing.T) {
+	idx := newIdx()
+	mustInsert(t, idx, k64(9), 9)
+	if del, err := idx.Delete(k64(9)); err != nil || !del {
+		t.Fatalf("Delete = %v,%v", del, err)
+	}
+	mustInsert(t, idx, k64(10), 10)
+	if v, ok := idx.Lookup(k64(10)); !ok || v != 10 {
+		t.Fatal("insert after emptying broken")
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	idx := newIdx()
+	var want []uint64
+	for i := 0; i < 3000; i++ {
+		v := keys.Mix64(uint64(i))
+		mustInsert(t, idx, k64(v), v)
+		want = append(want, v)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	var got []uint64
+	idx.Scan(nil, 0, func(k []byte, v uint64) bool {
+		got = append(got, keys.DecodeUint64(k))
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("scan count %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	idx := newIdx()
+	for i := uint64(0); i < 500; i++ {
+		mustInsert(t, idx, k64(i*2), i*2)
+	}
+	var got []uint64
+	n := idx.Scan(k64(101), 4, func(k []byte, v uint64) bool {
+		got = append(got, keys.DecodeUint64(k))
+		return true
+	})
+	if n != 4 {
+		t.Fatalf("visited %d", n)
+	}
+	for i, g := range got {
+		if g != uint64(102+i*2) {
+			t.Fatalf("scan[%d] = %d", i, g)
+		}
+	}
+}
+
+func TestOracleRandom(t *testing.T) {
+	idx := newIdx()
+	oracle := make(map[string]uint64)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("k%05d", rng.Intn(3000))
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := rng.Uint64()
+			mustInsert(t, idx, []byte(k), v)
+			oracle[k] = v
+		case 2:
+			if _, err := idx.Delete([]byte(k)); err != nil {
+				t.Fatal(err)
+			}
+			delete(oracle, k)
+		default:
+			v, ok := idx.Lookup([]byte(k))
+			ov, ook := oracle[k]
+			if ok != ook || (ok && v != ov) {
+				t.Fatalf("Lookup(%q) = %d,%v oracle %d,%v", k, v, ok, ov, ook)
+			}
+		}
+	}
+	if idx.Len() != len(oracle) {
+		t.Fatalf("Len = %d oracle %d", idx.Len(), len(oracle))
+	}
+}
+
+// Property: scans are sorted and complete.
+func TestQuickScanSorted(t *testing.T) {
+	f := func(vals []uint64) bool {
+		idx := newIdx()
+		set := make(map[uint64]bool)
+		for _, v := range vals {
+			if idx.Insert(k64(v), v) != nil {
+				return false
+			}
+			set[v] = true
+		}
+		var got []uint64
+		idx.Scan(nil, 0, func(k []byte, v uint64) bool {
+			got = append(got, keys.DecodeUint64(k))
+			return true
+		})
+		if len(got) != len(set) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentInserts(t *testing.T) {
+	idx := newIdx()
+	gen := keys.NewGenerator(keys.RandInt)
+	const threads = 8
+	const per = 3000
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := uint64(g*per + i)
+				if err := idx.Insert(gen.Key(id), id); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if v, ok := idx.Lookup(gen.Key(id)); !ok || v != id {
+					t.Errorf("readback %d = %d,%v", id, v, ok)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if idx.Len() != threads*per {
+		t.Fatalf("Len = %d want %d", idx.Len(), threads*per)
+	}
+}
+
+func TestConcurrentReadersDuringCOW(t *testing.T) {
+	idx := newIdx()
+	for i := uint64(0); i < 2000; i++ {
+		mustInsert(t, idx, k64(i), i)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			i := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := i % 2000
+				if v, ok := idx.Lookup(k64(k)); !ok || v != k {
+					t.Errorf("reader: key %d = %d,%v", k, v, ok)
+					return
+				}
+				i++
+			}
+		}()
+	}
+	for i := uint64(2000); i < 8000; i++ {
+		mustInsert(t, idx, k64(i), i)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// §5 crash testing: COW + single-swap commits mean every enumerated crash
+// state is trivially consistent.
+func TestCrashRecoveryEnumerated(t *testing.T) {
+	gen := keys.NewGenerator(keys.YCSBString)
+	for n := int64(1); ; n++ {
+		heap := pmem.NewFast()
+		idx := New(heap)
+		heap.SetInjector(crash.NewNth(n))
+		committed := make(map[uint64]uint64)
+		crashed := false
+		for i := uint64(0); i < 400; i++ {
+			err := idx.Insert(gen.Key(i), i)
+			if crash.IsCrash(err) {
+				crashed = true
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed[i] = i
+		}
+		heap.SetInjector(nil)
+		if !crashed {
+			if n == 1 {
+				t.Fatal("no crash sites reached")
+			}
+			t.Logf("enumerated %d crash states", n-1)
+			break
+		}
+		idx.Recover()
+		for id, v := range committed {
+			got, ok := idx.Lookup(gen.Key(id))
+			if !ok || got != v {
+				t.Fatalf("crash state %d: committed key %d lost (%d,%v)", n, id, got, ok)
+			}
+		}
+		for id := uint64(40000); id < 40080; id++ {
+			if err := idx.Insert(gen.Key(id), id); err != nil {
+				t.Fatalf("crash state %d: post-crash insert: %v", n, err)
+			}
+		}
+		if n > 20000 {
+			t.Fatal("enumeration did not terminate")
+		}
+	}
+}
+
+func TestDurabilityFlushCoverage(t *testing.T) {
+	heap := pmem.New(pmem.Options{Track: true})
+	idx := New(heap)
+	gen := keys.NewGenerator(keys.YCSBString)
+	for i := uint64(0); i < 800; i++ {
+		mustInsert(t, idx, gen.Key(i), i)
+		if v := heap.Tracker().Check(); len(v) != 0 {
+			t.Fatalf("insert %d left unpersisted lines: %v", i, v)
+		}
+	}
+	for i := uint64(0); i < 800; i += 3 {
+		if _, err := idx.Delete(gen.Key(i)); err != nil {
+			t.Fatal(err)
+		}
+		if v := heap.Tracker().Check(); len(v) != 0 {
+			t.Fatalf("delete %d left unpersisted lines: %v", i, v)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	idx := newIdx()
+	gen := keys.NewGenerator(keys.RandInt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.Insert(gen.Key(uint64(i)), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	idx := newIdx()
+	gen := keys.NewGenerator(keys.RandInt)
+	const n = 1 << 16
+	for i := uint64(0); i < n; i++ {
+		if err := idx.Insert(gen.Key(i), i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := idx.Lookup(gen.Key(uint64(i) % n)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

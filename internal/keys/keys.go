@@ -1,0 +1,119 @@
+// Package keys provides the key encodings used throughout the evaluation.
+//
+// The paper tests two key types (§7): "randint" — 8-byte uniformly random
+// integer keys — and "string" — 24-byte YCSB string keys. Ordered indexes
+// consume keys as byte strings whose lexicographic order must match the
+// logical key order, so integer keys are encoded big-endian.
+package keys
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind selects a key encoding.
+type Kind int
+
+const (
+	// RandInt is the paper's 8-byte random integer key type.
+	RandInt Kind = iota
+	// YCSBString is the paper's 24-byte YCSB string key type.
+	YCSBString
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RandInt:
+		return "randint"
+	case YCSBString:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Size returns the encoded key length in bytes.
+func (k Kind) Size() int {
+	switch k {
+	case RandInt:
+		return 8
+	case YCSBString:
+		return 24
+	default:
+		panic("keys: unknown kind")
+	}
+}
+
+// EncodeUint64 writes v big-endian into an 8-byte slice, preserving
+// numeric order under lexicographic comparison.
+func EncodeUint64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+// AppendUint64 appends the big-endian encoding of v to dst.
+func AppendUint64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// DecodeUint64 reads a big-endian 8-byte key.
+func DecodeUint64(b []byte) uint64 {
+	return binary.BigEndian.Uint64(b)
+}
+
+// Mix64 is the SplitMix64 finaliser: a bijection on uint64 used to map
+// dense key identifiers onto uniformly distributed key values. Because it
+// is a bijection, distinct identifiers never collide.
+func Mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Generator maps dense key identifiers (0, 1, 2, ...) to encoded keys of a
+// fixed Kind. The mapping is deterministic and collision-free so that
+// load/run phases across threads agree on the key universe.
+type Generator struct {
+	kind Kind
+}
+
+// NewGenerator returns a generator for the given key kind.
+func NewGenerator(kind Kind) *Generator { return &Generator{kind: kind} }
+
+// Kind returns the key kind.
+func (g *Generator) Kind() Kind { return g.kind }
+
+// Key returns the encoded key for identifier id.
+func (g *Generator) Key(id uint64) []byte {
+	return g.AppendKey(nil, id)
+}
+
+// AppendKey appends the encoded key for id to dst and returns the result.
+func (g *Generator) AppendKey(dst []byte, id uint64) []byte {
+	v := Mix64(id)
+	switch g.kind {
+	case RandInt:
+		return AppendUint64(dst, v)
+	case YCSBString:
+		// YCSB keys look like "user<zero-padded number>"; 4 + 20 digits
+		// gives the paper's 24-byte keys.
+		dst = append(dst, 'u', 's', 'e', 'r')
+		var digits [20]byte
+		x := v
+		for i := 19; i >= 0; i-- {
+			digits[i] = byte('0' + x%10)
+			x /= 10
+		}
+		return append(dst, digits[:]...)
+	default:
+		panic("keys: unknown kind")
+	}
+}
+
+// Uint64 returns the 64-bit key value for identifier id (for unordered
+// indexes, which the paper evaluates with integer keys only).
+func (g *Generator) Uint64(id uint64) uint64 { return Mix64(id) }

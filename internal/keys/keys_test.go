@@ -1,0 +1,115 @@
+package keys
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeUint64(t *testing.T) {
+	for _, v := range []uint64{0, 1, 255, 256, 1 << 32, ^uint64(0)} {
+		if got := DecodeUint64(EncodeUint64(v)); got != v {
+			t.Fatalf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+// Property: big-endian encoding preserves numeric order lexicographically.
+func TestQuickOrderPreserving(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ka, kb := EncodeUint64(a), EncodeUint64(b)
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Mix64 is injective on sampled pairs (it is a bijection by
+// construction; this guards against regressions in the constants).
+func TestQuickMix64Injective(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if a == b {
+			return Mix64(a) == Mix64(b)
+		}
+		return Mix64(a) != Mix64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorSizes(t *testing.T) {
+	for _, kind := range []Kind{RandInt, YCSBString} {
+		g := NewGenerator(kind)
+		k := g.Key(12345)
+		if len(k) != kind.Size() {
+			t.Fatalf("%v key has %d bytes, want %d", kind, len(k), kind.Size())
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1 := NewGenerator(YCSBString)
+	g2 := NewGenerator(YCSBString)
+	if !bytes.Equal(g1.Key(42), g2.Key(42)) {
+		t.Fatal("generator not deterministic")
+	}
+}
+
+func TestYCSBStringFormat(t *testing.T) {
+	g := NewGenerator(YCSBString)
+	k := g.Key(7)
+	if !bytes.HasPrefix(k, []byte("user")) {
+		t.Fatalf("YCSB key %q missing user prefix", k)
+	}
+	for _, c := range k[4:] {
+		if c < '0' || c > '9' {
+			t.Fatalf("YCSB key %q has non-digit payload", k)
+		}
+	}
+}
+
+// Property: distinct identifiers produce distinct keys for both kinds.
+func TestQuickDistinctKeys(t *testing.T) {
+	ri := NewGenerator(RandInt)
+	ys := NewGenerator(YCSBString)
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return !bytes.Equal(ri.Key(a), ri.Key(b)) && !bytes.Equal(ys.Key(a), ys.Key(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	g := NewGenerator(RandInt)
+	buf := g.AppendKey([]byte("pfx"), 9)
+	if !bytes.Equal(buf[:3], []byte("pfx")) || !bytes.Equal(buf[3:], g.Key(9)) {
+		t.Fatalf("AppendKey mismatch: %q", buf)
+	}
+}
+
+func TestUint64MatchesMix(t *testing.T) {
+	g := NewGenerator(RandInt)
+	if g.Uint64(5) != Mix64(5) {
+		t.Fatal("Uint64 should be Mix64")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if RandInt.String() != "randint" || YCSBString.String() != "string" {
+		t.Fatal("Kind.String mismatch")
+	}
+}

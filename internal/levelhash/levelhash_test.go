@@ -1,0 +1,272 @@
+package levelhash
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crash"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+)
+
+func TestInsertLookup(t *testing.T) {
+	idx := New(pmem.NewFast())
+	if err := idx.Insert(3, 30); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := idx.Lookup(3); !ok || v != 30 {
+		t.Fatalf("Lookup = %d,%v", v, ok)
+	}
+	if _, ok := idx.Lookup(4); ok {
+		t.Fatal("phantom")
+	}
+}
+
+func TestZeroKey(t *testing.T) {
+	idx := New(pmem.NewFast())
+	if err := idx.Insert(0, 1); err != ErrZeroKey {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := idx.Delete(0); err != ErrZeroKey {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := idx.Lookup(0); ok {
+		t.Fatal("zero key lookup hit")
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	idx := New(pmem.NewFast())
+	if err := idx.Insert(9, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Insert(9, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := idx.Lookup(9); v != 2 {
+		t.Fatalf("v = %d", v)
+	}
+	if idx.Len() != 1 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	idx := New(pmem.NewFast())
+	for k := uint64(1); k <= 200; k++ {
+		if err := idx.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(1); k <= 200; k += 2 {
+		del, err := idx.Delete(k)
+		if err != nil || !del {
+			t.Fatalf("Delete(%d) = %v,%v", k, del, err)
+		}
+	}
+	if del, _ := idx.Delete(1); del {
+		t.Fatal("double delete succeeded")
+	}
+	for k := uint64(2); k <= 200; k += 2 {
+		if v, ok := idx.Lookup(k); !ok || v != k {
+			t.Fatalf("survivor %d = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestRotationGrowsAndPreserves(t *testing.T) {
+	idx := NewWithBuckets(pmem.NewFast(), 4)
+	const n = 20000
+	for i := uint64(1); i <= n; i++ {
+		if err := idx.Insert(keys.Mix64(i), i); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if idx.TopBuckets() <= 4 {
+		t.Fatal("table never rotated")
+	}
+	for i := uint64(1); i <= n; i++ {
+		if v, ok := idx.Lookup(keys.Mix64(i)); !ok || v != i {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if idx.Len() != n {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+}
+
+// Keys that lived in the old top must remain findable after it becomes
+// the bottom level — the high-bit indexing invariant.
+func TestOldTopFindableAfterRotation(t *testing.T) {
+	idx := NewWithBuckets(pmem.NewFast(), 8)
+	inserted := []uint64{}
+	i := uint64(1)
+	start := idx.TopBuckets()
+	for idx.TopBuckets() == start {
+		k := keys.Mix64(i)
+		if err := idx.Insert(k, i); err != nil {
+			t.Fatal(err)
+		}
+		inserted = append(inserted, k)
+		i++
+	}
+	for j, k := range inserted {
+		if v, ok := idx.Lookup(k); !ok || v != uint64(j+1) {
+			t.Fatalf("pre-rotation key %d lost after rotation (%d,%v)", k, v, ok)
+		}
+	}
+}
+
+func TestOracleRandom(t *testing.T) {
+	idx := NewWithBuckets(pmem.NewFast(), 8)
+	oracle := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 30000; i++ {
+		k := uint64(rng.Intn(4000)) + 1
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := rng.Uint64()
+			if err := idx.Insert(k, v); err != nil {
+				t.Fatal(err)
+			}
+			oracle[k] = v
+		case 2:
+			if _, err := idx.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(oracle, k)
+		default:
+			v, ok := idx.Lookup(k)
+			ov, ook := oracle[k]
+			if ok != ook || (ok && v != ov) {
+				t.Fatalf("Lookup(%d) = %d,%v oracle %d,%v", k, v, ok, ov, ook)
+			}
+		}
+	}
+	if idx.Len() != len(oracle) {
+		t.Fatalf("Len = %d oracle %d", idx.Len(), len(oracle))
+	}
+}
+
+// Property: distinct keys all round-trip through rotations.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		idx := NewWithBuckets(pmem.NewFast(), 4)
+		count := int(n%1500) + 1
+		for i := 0; i < count; i++ {
+			if idx.Insert(keys.Mix64(seed+uint64(i))|1, uint64(i)) != nil {
+				return false
+			}
+		}
+		for i := 0; i < count; i++ {
+			if v, ok := idx.Lookup(keys.Mix64(seed+uint64(i)) | 1); !ok || v != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	idx := NewWithBuckets(pmem.NewFast(), 8)
+	const threads = 8
+	const per = 4000
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := keys.Mix64(uint64(g*per+i)) | 1
+				if err := idx.Insert(k, uint64(i)); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for g := 0; g < threads; g++ {
+		for i := 0; i < per; i += 53 {
+			k := keys.Mix64(uint64(g*per+i)) | 1
+			if _, ok := idx.Lookup(k); !ok {
+				t.Fatalf("missing key %d", k)
+			}
+		}
+	}
+}
+
+// §5 crash testing: enumerate crash states, verify no committed key lost.
+func TestCrashRecoveryEnumerated(t *testing.T) {
+	for n := int64(1); ; n++ {
+		heap := pmem.NewFast()
+		idx := NewWithBuckets(heap, 4)
+		heap.SetInjector(crash.NewNth(n))
+		committed := make(map[uint64]uint64)
+		crashed := false
+		for i := uint64(1); i <= 1500; i++ {
+			k := keys.Mix64(i)
+			err := idx.Insert(k, i)
+			if crash.IsCrash(err) {
+				crashed = true
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed[k] = i
+		}
+		heap.SetInjector(nil)
+		if !crashed {
+			if n == 1 {
+				t.Fatal("no crash sites reached")
+			}
+			t.Logf("enumerated %d crash states", n-1)
+			break
+		}
+		idx.Recover()
+		for k, v := range committed {
+			got, ok := idx.Lookup(k)
+			if !ok || got != v {
+				t.Fatalf("crash state %d: committed key %d lost (%d,%v)", n, k, got, ok)
+			}
+		}
+		for i := uint64(900000); i < 900040; i++ {
+			if err := idx.Insert(keys.Mix64(i), i); err != nil {
+				t.Fatalf("crash state %d: post-crash insert: %v", n, err)
+			}
+		}
+		if n > 6000 {
+			t.Fatal("crash-state enumeration did not terminate")
+		}
+	}
+}
+
+func TestDurabilityFlushCoverage(t *testing.T) {
+	heap := pmem.New(pmem.Options{Track: true})
+	idx := NewWithBuckets(heap, 8)
+	for i := uint64(1); i <= 2000; i++ {
+		if err := idx.Insert(keys.Mix64(i), i); err != nil {
+			t.Fatal(err)
+		}
+		if v := heap.Tracker().Check(); len(v) != 0 {
+			t.Fatalf("insert %d left unpersisted lines: %v", i, v)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	idx := New(pmem.NewFast())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.Insert(keys.Mix64(uint64(i))|1, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+// Package pmem simulates the persistent-memory substrate that RECIPE's
+// converted indexes run on.
+//
+// On real hardware (Intel Optane DC PMM) a converted index guarantees
+// crash consistency by ordering stores with mfence and writing dirty cache
+// lines back with clwb. Portable Go exposes neither instruction, so this
+// package provides a simulated heap with the same programming model:
+//
+//   - Alloc registers a persistent object and returns a handle (Obj) that
+//     maps the object's bytes onto abstract 64-byte cache lines.
+//   - Persist(obj, off, size) stands in for one clwb per dirtied line.
+//   - Fence stands in for mfence/sfence.
+//   - Dirty and Load report stores and loads for the durability checker
+//     (the analogue of the paper's PIN tracing, §5) and for the LLC
+//     simulator used to reproduce the paper's cache-miss counters.
+//
+// The heap counts clwb/fence/allocation events (Fig 4c, 4d, Table 4) and
+// optionally charges a configurable busy-wait latency per clwb and fence
+// so that flush-heavy indexes pay a throughput penalty, mimicking the
+// asymmetric cost of persistence on Optane. Crash points (§5) are routed
+// to a crash.Injector.
+package pmem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cachesim"
+	"repro/internal/crash"
+)
+
+// LineSize is the simulated cache-line size in bytes.
+const LineSize = cachesim.LineSize
+
+// Obj is a handle to a persistent allocation. The zero value is not a
+// valid allocation; nodes obtain one from Heap.Alloc. Obj maps byte
+// offsets within the object to global abstract line addresses.
+type Obj struct {
+	base  uint64 // first line address
+	lines uint32 // number of lines spanned
+}
+
+// Valid reports whether the handle came from an allocation.
+func (o Obj) Valid() bool { return o.lines != 0 }
+
+// Lines returns the number of cache lines the allocation spans.
+func (o Obj) Lines() int { return int(o.lines) }
+
+func (o Obj) line(off uintptr) uint64 { return o.base + uint64(off/LineSize) }
+
+// Options configures a Heap.
+type Options struct {
+	// Track enables the durability shadow tracker (slow; testing only).
+	Track bool
+	// LLC, when non-nil, routes every reported load/store/flush through a
+	// simulated last-level cache.
+	LLC *cachesim.Cache
+	// Injector, when non-nil, is consulted at every crash point.
+	Injector *crash.Injector
+	// DelayClwb and DelayFence are busy-wait iterations charged per clwb
+	// and per fence, approximating Optane write-back latency. Zero means
+	// free (unit tests); benchmark harnesses set them.
+	DelayClwb  int
+	DelayFence int
+}
+
+// Heap is a simulated persistent-memory pool. It is safe for concurrent
+// use. A Heap with zero-valued Options has negligible overhead: Persist
+// and Fence are single atomic adds, Dirty and Load are a nil check.
+type Heap struct {
+	nextLine atomic.Uint64
+
+	clwb   atomic.Uint64
+	fence  atomic.Uint64
+	allocs atomic.Uint64
+	bytes  atomic.Uint64
+
+	llc        *cachesim.Cache
+	tracker    *Tracker
+	inj        *crash.Injector
+	delayClwb  int
+	delayFence int
+}
+
+// New returns a heap configured by opts.
+func New(opts Options) *Heap {
+	h := &Heap{
+		llc:        opts.LLC,
+		inj:        opts.Injector,
+		delayClwb:  opts.DelayClwb,
+		delayFence: opts.DelayFence,
+	}
+	// Line address 0 is reserved so Obj{} is detectably invalid.
+	h.nextLine.Store(1)
+	if opts.Track {
+		h.tracker = newTracker()
+	}
+	return h
+}
+
+// NewFast returns a heap with counters only — the configuration used by
+// unit tests and by throughput benchmarks that model PM latency
+// separately.
+func NewFast() *Heap { return New(Options{}) }
+
+// SetInjector installs (or clears) the crash injector. It must not be
+// called concurrently with index operations.
+func (h *Heap) SetInjector(in *crash.Injector) { h.inj = in }
+
+// Injector returns the currently installed crash injector.
+func (h *Heap) Injector() *crash.Injector { return h.inj }
+
+// Alloc registers a persistent allocation of the given size and returns
+// its handle. The allocation's lines start out dirty (a freshly
+// initialised object must be persisted before it is linked into the
+// index), matching the paper's durability findings about unpersisted node
+// allocations in FAST & FAIR and CCEH.
+func (h *Heap) Alloc(size uintptr) Obj {
+	if size == 0 {
+		size = 1
+	}
+	lines := uint32((size + LineSize - 1) / LineSize)
+	base := h.nextLine.Add(uint64(lines)) - uint64(lines)
+	h.allocs.Add(1)
+	h.bytes.Add(uint64(size))
+	o := Obj{base: base, lines: lines}
+	if h.tracker != nil {
+		h.tracker.dirtyRange(o, 0, size)
+	}
+	return o
+}
+
+// Persist simulates clwb over [off, off+size) of o: one write-back per
+// spanned cache line. It does not order stores; callers must issue Fence
+// at the points the converted index requires.
+func (h *Heap) Persist(o Obj, off, size uintptr) {
+	if size == 0 {
+		return
+	}
+	first := o.line(off)
+	last := o.line(off + size - 1)
+	n := last - first + 1
+	h.clwb.Add(n)
+	if h.delayClwb > 0 {
+		spin(h.delayClwb * int(n))
+	}
+	if h.llc != nil {
+		for l := first; l <= last; l++ {
+			h.llc.Access(l)
+		}
+	}
+	if h.tracker != nil {
+		h.tracker.flushRange(o, off, size)
+	}
+}
+
+// Fence simulates mfence: all previously issued clwbs become durable.
+func (h *Heap) Fence() {
+	h.fence.Add(1)
+	if h.delayFence > 0 {
+		spin(h.delayFence)
+	}
+	if h.tracker != nil {
+		h.tracker.fence()
+	}
+}
+
+// PersistFence is the common "clwb; mfence" pair the conversion actions
+// insert after each store.
+func (h *Heap) PersistFence(o Obj, off, size uintptr) {
+	h.Persist(o, off, size)
+	h.Fence()
+}
+
+// Dirty records that [off, off+size) of o was stored to. Write paths call
+// it so the durability checker can verify flush coverage and so the LLC
+// simulator sees the store traffic. It is a nil-check no-op on fast heaps.
+func (h *Heap) Dirty(o Obj, off, size uintptr) {
+	if h.llc != nil && size > 0 {
+		for l, last := o.line(off), o.line(off+size-1); l <= last; l++ {
+			h.llc.Access(l)
+		}
+	}
+	if h.tracker != nil {
+		h.tracker.dirtyRange(o, off, size)
+	}
+}
+
+// Load records that [off, off+size) of o was read. Read paths call it so
+// the LLC simulator sees load traffic. It is a nil-check no-op on fast
+// heaps.
+func (h *Heap) Load(o Obj, off, size uintptr) {
+	if h.llc != nil && size > 0 {
+		for l, last := o.line(off), o.line(off+size-1); l <= last; l++ {
+			h.llc.Access(l)
+		}
+	}
+}
+
+// CrashPoint marks a §5 crash site: the boundary immediately after one of
+// the ordered atomic stores that make up an insert or SMO.
+func (h *Heap) CrashPoint(site string) {
+	if h.inj != nil {
+		h.inj.Here(site)
+	}
+}
+
+// Stats is a snapshot of heap counters.
+type Stats struct {
+	Clwb       uint64
+	Fence      uint64
+	Allocs     uint64
+	AllocBytes uint64
+	LLC        cachesim.Stats
+}
+
+// Sub returns s - t field-wise (for per-phase deltas).
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Clwb:       s.Clwb - t.Clwb,
+		Fence:      s.Fence - t.Fence,
+		Allocs:     s.Allocs - t.Allocs,
+		AllocBytes: s.AllocBytes - t.AllocBytes,
+		LLC: cachesim.Stats{
+			Accesses: s.LLC.Accesses - t.LLC.Accesses,
+			Hits:     s.LLC.Hits - t.LLC.Hits,
+			Misses:   s.LLC.Misses - t.LLC.Misses,
+		},
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (h *Heap) Stats() Stats {
+	s := Stats{
+		Clwb:       h.clwb.Load(),
+		Fence:      h.fence.Load(),
+		Allocs:     h.allocs.Load(),
+		AllocBytes: h.bytes.Load(),
+	}
+	if h.llc != nil {
+		s.LLC = h.llc.Stats()
+	}
+	return s
+}
+
+// Tracker returns the durability tracker, or nil when tracking is off.
+func (h *Heap) Tracker() *Tracker { return h.tracker }
+
+// spin burns roughly n "work units" to model PM persistence latency.
+//
+//go:noinline
+func spin(n int) {
+	var x uint64 = 1
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	spinSink.Store(x)
+}
+
+var spinSink atomic.Uint64
+
+// Tracker is the shadow state behind the §5 durability test: it records
+// which lines are dirty, which have been written back but not yet fenced,
+// and reports any line that an operation left unprotected.
+type Tracker struct {
+	mu      sync.Mutex
+	dirty   map[uint64]bool // line -> true while modified and not clwb'd
+	pending map[uint64]bool // line -> true after clwb, before fence
+}
+
+func newTracker() *Tracker {
+	return &Tracker{dirty: make(map[uint64]bool), pending: make(map[uint64]bool)}
+}
+
+func (t *Tracker) dirtyRange(o Obj, off, size uintptr) {
+	t.mu.Lock()
+	for l, last := o.line(off), o.line(off+size-1); l <= last; l++ {
+		t.dirty[l] = true
+		delete(t.pending, l) // a store after clwb re-dirties the line
+	}
+	t.mu.Unlock()
+}
+
+func (t *Tracker) flushRange(o Obj, off, size uintptr) {
+	t.mu.Lock()
+	for l, last := o.line(off), o.line(off+size-1); l <= last; l++ {
+		if t.dirty[l] {
+			delete(t.dirty, l)
+			t.pending[l] = true
+		}
+	}
+	t.mu.Unlock()
+}
+
+func (t *Tracker) fence() {
+	t.mu.Lock()
+	for l := range t.pending {
+		delete(t.pending, l)
+	}
+	t.mu.Unlock()
+}
+
+// Violation describes a durability failure at an operation boundary.
+type Violation struct {
+	Line uint64
+	// Kind is "dirty" (stored, never clwb'd) or "pending" (clwb'd, never
+	// fenced).
+	Kind string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("line %d left %s", v.Line, v.Kind)
+}
+
+// Check returns the lines that are not durable at this instant. A
+// correctly converted index has an empty result at every operation
+// boundary.
+func (t *Tracker) Check() []Violation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Violation
+	for l := range t.dirty {
+		out = append(out, Violation{Line: l, Kind: "dirty"})
+	}
+	for l := range t.pending {
+		out = append(out, Violation{Line: l, Kind: "pending"})
+	}
+	return out
+}
+
+// Reset clears the shadow state (e.g. between test phases).
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	t.dirty = make(map[uint64]bool)
+	t.pending = make(map[uint64]bool)
+	t.mu.Unlock()
+}

@@ -1,0 +1,204 @@
+package pmem
+
+import (
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/crash"
+)
+
+func TestAllocHandles(t *testing.T) {
+	h := NewFast()
+	o1 := h.Alloc(64)
+	o2 := h.Alloc(65)
+	if !o1.Valid() || !o2.Valid() {
+		t.Fatal("allocations should be valid")
+	}
+	if o1.Lines() != 1 {
+		t.Fatalf("64B alloc spans %d lines, want 1", o1.Lines())
+	}
+	if o2.Lines() != 2 {
+		t.Fatalf("65B alloc spans %d lines, want 2", o2.Lines())
+	}
+	if (Obj{}).Valid() {
+		t.Fatal("zero Obj must be invalid")
+	}
+	s := h.Stats()
+	if s.Allocs != 2 || s.AllocBytes != 64+65 {
+		t.Fatalf("alloc stats = %+v", s)
+	}
+}
+
+func TestZeroSizeAllocStillValid(t *testing.T) {
+	h := NewFast()
+	o := h.Alloc(0)
+	if !o.Valid() {
+		t.Fatal("zero-size alloc should round up to a valid handle")
+	}
+}
+
+func TestPersistCountsLines(t *testing.T) {
+	h := NewFast()
+	o := h.Alloc(256)
+	h.Persist(o, 0, 64) // 1 line
+	h.Persist(o, 0, 65) // 2 lines
+	h.Persist(o, 63, 2) // straddles a boundary: 2 lines
+	h.Persist(o, 0, 0)  // no-op
+	if got := h.Stats().Clwb; got != 5 {
+		t.Fatalf("clwb = %d, want 5", got)
+	}
+}
+
+func TestFenceCounts(t *testing.T) {
+	h := NewFast()
+	h.Fence()
+	h.Fence()
+	if got := h.Stats().Fence; got != 2 {
+		t.Fatalf("fence = %d, want 2", got)
+	}
+}
+
+func TestPersistFence(t *testing.T) {
+	h := NewFast()
+	o := h.Alloc(64)
+	h.PersistFence(o, 0, 8)
+	s := h.Stats()
+	if s.Clwb != 1 || s.Fence != 1 {
+		t.Fatalf("stats = %+v, want 1 clwb + 1 fence", s)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	h := NewFast()
+	o := h.Alloc(64)
+	before := h.Stats()
+	h.PersistFence(o, 0, 8)
+	d := h.Stats().Sub(before)
+	if d.Clwb != 1 || d.Fence != 1 || d.Allocs != 0 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestTrackerFlushCoverage(t *testing.T) {
+	h := New(Options{Track: true})
+	o := h.Alloc(128) // allocation dirties both lines
+	if v := h.Tracker().Check(); len(v) != 2 {
+		t.Fatalf("fresh alloc should leave 2 dirty lines, got %v", v)
+	}
+	h.Persist(o, 0, 128)
+	if v := h.Tracker().Check(); len(v) != 2 {
+		t.Fatalf("clwb without fence should leave 2 pending lines, got %v", v)
+	}
+	h.Fence()
+	if v := h.Tracker().Check(); len(v) != 0 {
+		t.Fatalf("after clwb+fence tracker should be clean, got %v", v)
+	}
+}
+
+func TestTrackerRedirtyAfterFlush(t *testing.T) {
+	h := New(Options{Track: true})
+	o := h.Alloc(64)
+	h.PersistFence(o, 0, 64)
+	h.Dirty(o, 0, 8)
+	v := h.Tracker().Check()
+	if len(v) != 1 || v[0].Kind != "dirty" {
+		t.Fatalf("store after flush should re-dirty, got %v", v)
+	}
+	h.PersistFence(o, 0, 8)
+	if v := h.Tracker().Check(); len(v) != 0 {
+		t.Fatalf("want clean, got %v", v)
+	}
+}
+
+func TestTrackerPartialFlushDetected(t *testing.T) {
+	h := New(Options{Track: true})
+	o := h.Alloc(128)
+	h.PersistFence(o, 0, 64) // second line never flushed
+	v := h.Tracker().Check()
+	if len(v) != 1 || v[0].Kind != "dirty" {
+		t.Fatalf("want one dirty violation for unflushed line, got %v", v)
+	}
+}
+
+func TestTrackerReset(t *testing.T) {
+	h := New(Options{Track: true})
+	h.Alloc(64)
+	h.Tracker().Reset()
+	if v := h.Tracker().Check(); len(v) != 0 {
+		t.Fatalf("after Reset want clean, got %v", v)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Line: 7, Kind: "dirty"}
+	if v.String() != "line 7 left dirty" {
+		t.Fatalf("String() = %q", v.String())
+	}
+}
+
+func TestLLCIntegration(t *testing.T) {
+	llc := cachesim.New(cachesim.Config{CapacityBytes: 1 << 16, Ways: 4})
+	h := New(Options{LLC: llc})
+	o := h.Alloc(64)
+	h.Dirty(o, 0, 8)
+	h.Load(o, 0, 8)
+	h.Persist(o, 0, 8)
+	s := h.Stats()
+	if s.LLC.Accesses != 3 {
+		t.Fatalf("LLC accesses = %d, want 3", s.LLC.Accesses)
+	}
+	if s.LLC.Misses != 1 {
+		t.Fatalf("LLC misses = %d, want 1 (first touch only)", s.LLC.Misses)
+	}
+}
+
+func TestCrashPointRoutesToInjector(t *testing.T) {
+	in := crash.NewNth(1)
+	h := New(Options{Injector: in})
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = crash.Recover(r)
+			}
+		}()
+		h.CrashPoint("pmem.test")
+		return nil
+	}()
+	if !crash.IsCrash(err) {
+		t.Fatalf("err = %v, want crash", err)
+	}
+}
+
+func TestSetInjector(t *testing.T) {
+	h := NewFast()
+	if h.Injector() != nil {
+		t.Fatal("fast heap should have no injector")
+	}
+	in := crash.NewNth(10)
+	h.SetInjector(in)
+	if h.Injector() != in {
+		t.Fatal("SetInjector did not install")
+	}
+	h.CrashPoint("x") // should not fire (n=10)
+	if in.Visits() != 1 {
+		t.Fatalf("visits = %d, want 1", in.Visits())
+	}
+}
+
+func TestDelaySpinRuns(t *testing.T) {
+	h := New(Options{DelayClwb: 10, DelayFence: 10})
+	o := h.Alloc(64)
+	h.PersistFence(o, 0, 8) // just exercise the spin path
+	if h.Stats().Clwb != 1 {
+		t.Fatal("counting broken with delays enabled")
+	}
+}
+
+func BenchmarkPersistFenceFastHeap(b *testing.B) {
+	h := NewFast()
+	o := h.Alloc(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.PersistFence(o, 0, 8)
+	}
+}

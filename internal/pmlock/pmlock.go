@@ -1,0 +1,65 @@
+// Package pmlock provides CAS-based spinlocks for simulated
+// persistent-memory indexes.
+//
+// RECIPE (§4.2) assumes that locks embedded in persistent nodes are
+// non-persistent and are re-initialised when an index restarts after a
+// crash. A sync.Mutex cannot express that: a crashed operation would leave
+// it locked forever and there is no way to force-reset it. The locks in
+// this package are plain words manipulated with compare-and-swap, so a
+// simulated crash can abandon them mid-critical-section and recovery can
+// re-initialise them, exactly as a real PM index re-initialises its lock
+// table on startup (§6, "Lock initialization").
+package pmlock
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Mutex is a CAS spinlock. The zero value is unlocked.
+//
+// Unlike sync.Mutex it supports Reset, which unconditionally returns the
+// lock to the unlocked state regardless of owner. Reset is only safe when
+// no thread is inside the critical section, i.e. during post-crash
+// recovery.
+type Mutex struct {
+	v atomic.Uint32
+}
+
+// Lock acquires the lock, spinning until it is available.
+func (m *Mutex) Lock() {
+	for i := 0; ; i++ {
+		if m.v.CompareAndSwap(0, 1) {
+			return
+		}
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// TryLock attempts to acquire the lock without blocking and reports
+// whether it succeeded. RECIPE's Condition #3 crash detection is built on
+// try-lock: if a writer observes an inconsistency and then successfully
+// acquires the lock, no concurrent writer can be mid-update, so the
+// inconsistency must be permanent (left by a crash).
+func (m *Mutex) TryLock() bool {
+	return m.v.CompareAndSwap(0, 1)
+}
+
+// Unlock releases the lock. It must only be called by the holder.
+func (m *Mutex) Unlock() {
+	m.v.Store(0)
+}
+
+// Reset unconditionally re-initialises the lock to unlocked. It models
+// lock-table re-initialisation on restart after a crash.
+func (m *Mutex) Reset() {
+	m.v.Store(0)
+}
+
+// Locked reports whether the lock is currently held. It is advisory and
+// intended for tests and recovery diagnostics.
+func (m *Mutex) Locked() bool {
+	return m.v.Load() != 0
+}

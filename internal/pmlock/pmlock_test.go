@@ -1,0 +1,93 @@
+package pmlock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLockUnlock(t *testing.T) {
+	var m Mutex
+	if m.Locked() {
+		t.Fatal("zero-value mutex should be unlocked")
+	}
+	m.Lock()
+	if !m.Locked() {
+		t.Fatal("Lock did not set state")
+	}
+	m.Unlock()
+	if m.Locked() {
+		t.Fatal("Unlock did not clear state")
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	var m Mutex
+	if !m.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if m.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	m.Unlock()
+	if !m.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+}
+
+func TestResetReleasesAbandonedLock(t *testing.T) {
+	var m Mutex
+	m.Lock() // simulate a crashed holder
+	if m.TryLock() {
+		t.Fatal("abandoned lock should still appear held")
+	}
+	m.Reset()
+	if !m.TryLock() {
+		t.Fatal("Reset should re-initialise the lock")
+	}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	var m Mutex
+	const goroutines = 8
+	const iters = 2000
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.Lock()
+				counter++
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d (lost updates => no mutual exclusion)", counter, goroutines*iters)
+	}
+}
+
+func TestTryLockMutualExclusion(t *testing.T) {
+	var m Mutex
+	const goroutines = 8
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if m.TryLock() {
+					counter++
+					m.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// No assertion on the count (TryLock may fail), only on race-freedom,
+	// which the race detector validates.
+	_ = counter
+}

@@ -1,0 +1,185 @@
+// Package ycsb generates the YCSB workload patterns used in RECIPE's
+// evaluation (§7, Table 3).
+//
+// The paper generates workload files with the index micro-benchmark and
+// statically splits them across threads. This package reproduces that:
+// Generate materialises per-thread operation streams up front so the
+// measured phase does no generation work. Key identifiers are dense and
+// mapped to uniformly distributed key values by keys.Mix64; the run phase
+// reads uniformly from the loaded population and inserts fresh keys
+// (updates are modelled as inserts of new keys because several of the
+// compared indexes do not support in-place update, per §7).
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind is a YCSB operation type.
+type OpKind uint8
+
+const (
+	// OpInsert inserts a fresh key.
+	OpInsert OpKind = iota
+	// OpRead point-reads an existing key.
+	OpRead
+	// OpScan range-scans from an existing key.
+	OpScan
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpRead:
+		return "read"
+	case OpScan:
+		return "scan"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one pre-generated operation. ID is a dense key identifier: for
+// inserts it names a fresh key, for reads/scans an already-loaded key.
+type Op struct {
+	Kind    OpKind
+	ID      uint64
+	ScanLen int
+}
+
+// Workload is one row of Table 3.
+type Workload struct {
+	Name string
+	// Mix in percent. InsertPct + ReadPct + ScanPct == 100.
+	InsertPct, ReadPct, ScanPct int
+	// Description and AppPattern reproduce Table 3's text.
+	Description string
+	AppPattern  string
+}
+
+// The five workload patterns evaluated in the paper (Table 3). Workloads D
+// and F are excluded, as in the paper, because several compared indexes do
+// not support key updates.
+var (
+	LoadA = Workload{Name: "Load A", InsertPct: 100, Description: "100% writes", AppPattern: "Bulk database insert"}
+	A     = Workload{Name: "A", InsertPct: 50, ReadPct: 50, Description: "Read/Write, 50/50", AppPattern: "A session store"}
+	B     = Workload{Name: "B", InsertPct: 5, ReadPct: 95, Description: "Read/Write, 95/5", AppPattern: "Photo tagging"}
+	C     = Workload{Name: "C", ReadPct: 100, Description: "100% reads", AppPattern: "User profile cache"}
+	E     = Workload{Name: "E", InsertPct: 5, ScanPct: 95, Description: "Scan/Write, 95/5", AppPattern: "Threaded conversations"}
+)
+
+// All lists the evaluated workloads in the paper's order.
+var All = []Workload{LoadA, A, B, C, E}
+
+// ByName returns the workload with the given name (case-sensitive, as in
+// Table 3: "Load A", "A", "B", "C", "E").
+func ByName(name string) (Workload, error) {
+	for _, w := range All {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("ycsb: unknown workload %q", name)
+}
+
+// MaxScanLen is the YCSB default maximum range length: scan lengths are
+// uniform in [1, MaxScanLen].
+const MaxScanLen = 100
+
+// Plan holds per-thread operation streams for one workload execution.
+type Plan struct {
+	Workload Workload
+	// LoadN is the size of the pre-loaded key population (identifiers
+	// [0, LoadN)).
+	LoadN int
+	// Threads[i] is the operation stream for thread i.
+	Threads [][]Op
+}
+
+// TotalOps returns the number of operations across all threads.
+func (p *Plan) TotalOps() int {
+	n := 0
+	for _, t := range p.Threads {
+		n += len(t)
+	}
+	return n
+}
+
+// Generate builds a plan: opN operations of workload w, statically split
+// across threads, assuming identifiers [0, loadN) are already loaded.
+// Fresh insert identifiers start at loadN and are partitioned between
+// threads so concurrent inserts never collide. Generation is deterministic
+// in seed.
+func Generate(w Workload, loadN, opN, threads int, seed int64) *Plan {
+	if threads < 1 {
+		threads = 1
+	}
+	if w.InsertPct+w.ReadPct+w.ScanPct != 100 {
+		panic(fmt.Sprintf("ycsb: workload %q percentages sum to %d", w.Name, w.InsertPct+w.ReadPct+w.ScanPct))
+	}
+	p := &Plan{Workload: w, LoadN: loadN, Threads: make([][]Op, threads)}
+	per := opN / threads
+	nextInsert := uint64(loadN)
+	for t := 0; t < threads; t++ {
+		n := per
+		if t == threads-1 {
+			n = opN - per*(threads-1)
+		}
+		rng := rand.New(rand.NewSource(seed + int64(t)*1_000_003))
+		ops := make([]Op, 0, n)
+		// Reserve the worst case: every op an insert.
+		base := nextInsert
+		used := uint64(0)
+		for i := 0; i < n; i++ {
+			r := rng.Intn(100)
+			switch {
+			case r < w.InsertPct:
+				ops = append(ops, Op{Kind: OpInsert, ID: base + used})
+				used++
+			case r < w.InsertPct+w.ReadPct:
+				ops = append(ops, Op{Kind: OpRead, ID: uint64(rng.Int63n(int64(max(loadN, 1))))})
+			default:
+				ops = append(ops, Op{Kind: OpScan, ID: uint64(rng.Int63n(int64(max(loadN, 1)))), ScanLen: 1 + rng.Intn(MaxScanLen)})
+			}
+		}
+		nextInsert = base + used
+		p.Threads[t] = ops
+	}
+	return p
+}
+
+// GenerateLoad builds the Load A plan that populates identifiers
+// [0, loadN), split across threads in contiguous chunks.
+func GenerateLoad(loadN, threads int) *Plan {
+	if threads < 1 {
+		threads = 1
+	}
+	p := &Plan{Workload: LoadA, LoadN: 0, Threads: make([][]Op, threads)}
+	per := loadN / threads
+	start := 0
+	for t := 0; t < threads; t++ {
+		n := per
+		if t == threads-1 {
+			n = loadN - per*(threads-1)
+		}
+		ops := make([]Op, n)
+		for i := 0; i < n; i++ {
+			ops[i] = Op{Kind: OpInsert, ID: uint64(start + i)}
+		}
+		p.Threads[t] = ops
+		start += n
+	}
+	return p
+}
+
+// Describe renders Table 3.
+func Describe() string {
+	s := "Workload | Description        | Application pattern\n"
+	s += "---------+--------------------+---------------------\n"
+	for _, w := range All {
+		s += fmt.Sprintf("%-8s | %-18s | %s\n", w.Name, w.Description, w.AppPattern)
+	}
+	return s
+}

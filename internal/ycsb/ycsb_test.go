@@ -1,0 +1,173 @@
+package ycsb
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkloadMixesSumTo100(t *testing.T) {
+	for _, w := range All {
+		if s := w.InsertPct + w.ReadPct + w.ScanPct; s != 100 {
+			t.Fatalf("workload %s mix sums to %d", w.Name, s)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("Load A")
+	if err != nil || w.InsertPct != 100 {
+		t.Fatalf("ByName(Load A) = %+v, %v", w, err)
+	}
+	if _, err := ByName("Z"); err == nil {
+		t.Fatal("ByName(Z) should fail")
+	}
+}
+
+func TestGenerateLoadCoversAllIDs(t *testing.T) {
+	p := GenerateLoad(100, 3)
+	seen := make(map[uint64]bool)
+	for _, ops := range p.Threads {
+		for _, op := range ops {
+			if op.Kind != OpInsert {
+				t.Fatalf("load plan contains %v", op.Kind)
+			}
+			if seen[op.ID] {
+				t.Fatalf("duplicate id %d", op.ID)
+			}
+			seen[op.ID] = true
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("load plan covers %d ids, want 100", len(seen))
+	}
+	if p.TotalOps() != 100 {
+		t.Fatalf("TotalOps = %d, want 100", p.TotalOps())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(A, 1000, 500, 4, 7)
+	b := Generate(A, 1000, 500, 4, 7)
+	for ti := range a.Threads {
+		if len(a.Threads[ti]) != len(b.Threads[ti]) {
+			t.Fatal("non-deterministic lengths")
+		}
+		for i := range a.Threads[ti] {
+			if a.Threads[ti][i] != b.Threads[ti][i] {
+				t.Fatal("non-deterministic ops")
+			}
+		}
+	}
+}
+
+func TestGenerateInsertIDsDisjointAndFresh(t *testing.T) {
+	const loadN = 1000
+	p := Generate(A, loadN, 2000, 4, 3)
+	seen := make(map[uint64]bool)
+	for _, ops := range p.Threads {
+		for _, op := range ops {
+			switch op.Kind {
+			case OpInsert:
+				if op.ID < loadN {
+					t.Fatalf("insert id %d collides with load population", op.ID)
+				}
+				if seen[op.ID] {
+					t.Fatalf("duplicate insert id %d across threads", op.ID)
+				}
+				seen[op.ID] = true
+			case OpRead, OpScan:
+				if op.ID >= loadN {
+					t.Fatalf("%v id %d outside loaded population", op.Kind, op.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateMixApproximatesWorkload(t *testing.T) {
+	const n = 100000
+	p := Generate(B, 1000, n, 2, 11)
+	var ins, rd int
+	for _, ops := range p.Threads {
+		for _, op := range ops {
+			switch op.Kind {
+			case OpInsert:
+				ins++
+			case OpRead:
+				rd++
+			}
+		}
+	}
+	insPct := float64(ins) / float64(n) * 100
+	if insPct < 3 || insPct > 7 {
+		t.Fatalf("workload B insert fraction = %.2f%%, want ~5%%", insPct)
+	}
+	if rd+ins != n {
+		t.Fatalf("B should contain only reads+inserts, got %d/%d", rd, ins)
+	}
+}
+
+func TestScanLengthsInRange(t *testing.T) {
+	p := Generate(E, 1000, 20000, 2, 5)
+	sawScan := false
+	for _, ops := range p.Threads {
+		for _, op := range ops {
+			if op.Kind == OpScan {
+				sawScan = true
+				if op.ScanLen < 1 || op.ScanLen > MaxScanLen {
+					t.Fatalf("scan length %d out of [1,%d]", op.ScanLen, MaxScanLen)
+				}
+			}
+		}
+	}
+	if !sawScan {
+		t.Fatal("workload E generated no scans")
+	}
+}
+
+func TestGenerateSplitsOpsExactly(t *testing.T) {
+	f := func(opN uint16, threads uint8) bool {
+		th := int(threads%8) + 1
+		n := int(opN % 5000)
+		p := Generate(C, 100, n, th, 1)
+		return p.TotalOps() == n && len(p.Threads) == th
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateZeroThreadsClamped(t *testing.T) {
+	p := Generate(C, 10, 10, 0, 1)
+	if len(p.Threads) != 1 {
+		t.Fatalf("threads clamped to %d, want 1", len(p.Threads))
+	}
+	if GenerateLoad(10, 0).TotalOps() != 10 {
+		t.Fatal("GenerateLoad with 0 threads should still cover all ids")
+	}
+}
+
+func TestDescribeContainsAllRows(t *testing.T) {
+	d := Describe()
+	for _, w := range All {
+		if !strings.Contains(d, w.AppPattern) {
+			t.Fatalf("Describe() missing %q", w.AppPattern)
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpInsert.String() != "insert" || OpRead.String() != "read" || OpScan.String() != "scan" {
+		t.Fatal("OpKind.String mismatch")
+	}
+}
+
+func TestBadWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate with bad mix should panic")
+		}
+	}()
+	Generate(Workload{Name: "bad", InsertPct: 10}, 10, 10, 1, 1)
+}

@@ -1,0 +1,165 @@
+// Package recipe is a Go reproduction of "RECIPE: Converting Concurrent
+// DRAM Indexes to Persistent-Memory Indexes" (Lee et al., SOSP 2019).
+//
+// RECIPE's insight is that the isolation machinery of a class of
+// concurrent DRAM indexes — non-blocking reads that tolerate
+// inconsistencies, writes that can detect and fix them — is exactly the
+// machinery crash recovery needs on persistent memory, so such indexes
+// become crash-consistent PM indexes by ordering and flushing their
+// stores (plus, for Condition #3 indexes, a small helper on the write
+// path). This package exposes the five converted indexes of the paper
+// (P-ART, P-HOT, P-BwTree, P-CLHT, P-Masstree), the four hand-crafted PM
+// baselines they are evaluated against (FAST & FAIR, CCEH, Level Hashing,
+// WOART), the simulated persistent-memory substrate they run on, and the
+// crash-testing methodology of §5.
+//
+// Quick start:
+//
+//	heap := recipe.NewHeap()
+//	idx, _ := recipe.NewOrdered("P-ART", heap, recipe.RandInt)
+//	_ = idx.Insert([]byte("hello"), 42)
+//	v, ok := idx.Lookup([]byte("hello"))
+//
+// Go has no cache-line flush or fence control, so persistence is
+// simulated: every index routes its clwb/mfence placements through a
+// Heap, which counts them (reproducing the paper's Fig 4c/4d and Table 4
+// counters), optionally models their latency, feeds an LLC simulator, and
+// drives the §5 crash and durability testing. See DESIGN.md for the full
+// substitution map.
+package recipe
+
+import (
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/crash"
+	"repro/internal/harness"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+	"repro/internal/ycsb"
+)
+
+// OrderedIndex is a persistent index supporting point and range queries
+// over byte-string keys. All implementations are safe for concurrent use.
+type OrderedIndex = core.OrderedIndex
+
+// HashIndex is a persistent point-query index over non-zero uint64 keys.
+type HashIndex = core.HashIndex
+
+// Heap is the simulated persistent-memory pool indexes allocate from.
+type Heap = pmem.Heap
+
+// HeapOptions configures counters, durability tracking, LLC simulation,
+// latency modelling and crash injection for a Heap.
+type HeapOptions = pmem.Options
+
+// Key kinds used throughout the evaluation (§7).
+const (
+	// RandInt is the paper's 8-byte random integer key type.
+	RandInt = keys.RandInt
+	// YCSBString is the paper's 24-byte YCSB string key type.
+	YCSBString = keys.YCSBString
+)
+
+// KeyKind selects a key encoding.
+type KeyKind = keys.Kind
+
+// NewHeap returns a fast simulated-PM heap (counters only).
+func NewHeap() *Heap { return pmem.NewFast() }
+
+// NewHeapWithOptions returns a heap with explicit instrumentation.
+func NewHeapWithOptions(opts HeapOptions) *Heap { return pmem.New(opts) }
+
+// NewLLC returns an LLC simulator with the evaluation machine's geometry
+// (32 MB, 16-way, 64-byte lines) for use in HeapOptions.
+func NewLLC() *cachesim.Cache { return cachesim.New(cachesim.DefaultConfig()) }
+
+// NewOrdered constructs one of the ordered indexes by evaluation name:
+// "P-ART", "P-HOT", "P-BwTree", "P-Masstree", "FAST & FAIR", or "WOART".
+func NewOrdered(name string, heap *Heap, kind KeyKind) (OrderedIndex, error) {
+	return core.NewOrdered(name, heap, kind)
+}
+
+// NewHash constructs one of the unordered indexes by evaluation name:
+// "P-CLHT", "CCEH", or "Level Hashing".
+func NewHash(name string, heap *Heap) (HashIndex, error) {
+	return core.NewHash(name, heap)
+}
+
+// OrderedNames lists the ordered indexes in the paper's Fig 4 order.
+func OrderedNames() []string { return append([]string(nil), core.OrderedNames...) }
+
+// HashNames lists the unordered indexes in the paper's Fig 5 order.
+func HashNames() []string { return append([]string(nil), core.HashNames...) }
+
+// KeyGenerator deterministically maps dense identifiers to evaluation
+// keys of a given kind.
+type KeyGenerator = keys.Generator
+
+// NewKeyGenerator returns a generator for kind.
+func NewKeyGenerator(kind KeyKind) *KeyGenerator { return keys.NewGenerator(kind) }
+
+// Workload is one of the YCSB patterns of Table 3.
+type Workload = ycsb.Workload
+
+// Workloads returns the evaluated YCSB workloads in Table 3 order:
+// Load A, A, B, C, E.
+func Workloads() []Workload { return append([]Workload(nil), ycsb.All...) }
+
+// WorkloadByName returns the named workload ("Load A", "A", "B", "C",
+// "E").
+func WorkloadByName(name string) (Workload, error) { return ycsb.ByName(name) }
+
+// Result is one (index, workload) measurement with throughput and
+// per-operation counters.
+type Result = harness.Result
+
+// RunOrderedWorkload loads loadN keys and executes opN operations of w
+// against a fresh run of idx across threads, as §7 does.
+func RunOrderedWorkload(name string, idx OrderedIndex, gen *KeyGenerator, heap *Heap, w Workload, loadN, opN, threads int, seed int64) (Result, error) {
+	return harness.RunOrdered(name, idx, gen, heap, w, loadN, opN, threads, seed)
+}
+
+// RunHashWorkload is RunOrderedWorkload for unordered indexes.
+func RunHashWorkload(name string, idx HashIndex, gen *KeyGenerator, heap *Heap, w Workload, loadN, opN, threads int, seed int64) (Result, error) {
+	return harness.RunHash(name, idx, gen, heap, w, loadN, opN, threads, seed)
+}
+
+// CrashReport summarises a §7.5 crash-recovery campaign.
+type CrashReport = harness.CrashReport
+
+// CrashCampaignOrdered runs the §5/§7.5 crash-recovery methodology
+// against an ordered index factory.
+func CrashCampaignOrdered(name string, factory func(*Heap) OrderedIndex, kind KeyKind, states, loadN, mixedN, threads int) CrashReport {
+	return harness.CrashCampaignOrdered(name, factory, kind, states, loadN, mixedN, threads)
+}
+
+// CrashCampaignHash is CrashCampaignOrdered for unordered indexes.
+func CrashCampaignHash(name string, factory func(*Heap) HashIndex, states, loadN, mixedN, threads int) CrashReport {
+	return harness.CrashCampaignHash(name, factory, states, loadN, mixedN, threads)
+}
+
+// DurabilityReport summarises a §5 durability (flush-coverage) test.
+type DurabilityReport = harness.DurabilityReport
+
+// DurabilityOrdered verifies every dirtied line is flushed and fenced at
+// each operation boundary.
+func DurabilityOrdered(name string, factory func(*Heap) OrderedIndex, kind KeyKind, n int) DurabilityReport {
+	return harness.DurabilityOrdered(name, factory, kind, n)
+}
+
+// DurabilityHash is DurabilityOrdered for unordered indexes.
+func DurabilityHash(name string, factory func(*Heap) HashIndex, n int) DurabilityReport {
+	return harness.DurabilityHash(name, factory, n)
+}
+
+// ErrCrashed is returned by operations interrupted by a simulated crash.
+var ErrCrashed = crash.ErrCrashed
+
+// Table1 renders the paper's Table 1 (conversion effort).
+func Table1() string { return core.Table1() }
+
+// Table2 renders the paper's Table 2 (conversion actions).
+func Table2() string { return core.Table2() }
+
+// Table3 renders the paper's Table 3 (YCSB workload patterns).
+func Table3() string { return ycsb.Describe() }
