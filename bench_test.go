@@ -12,6 +12,7 @@ package recipe_test
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	recipe "repro"
@@ -158,6 +159,48 @@ func BenchmarkFig4d(b *testing.B) {
 func BenchmarkTable4(b *testing.B) {
 	for _, name := range recipe.HashNames() {
 		b.Run(name, func(b *testing.B) { counterBench(b, name, keys.RandInt, true) })
+	}
+}
+
+// BenchmarkHeapScaling measures the instrumentation substrate itself
+// rather than any index: Alloc + Persist + Fence throughput at 1..16
+// goroutines, striped (the default) versus the pre-refactor
+// shared-atomics reference heap (pmem.Options{SharedAtomics: true}).
+// On multi-core machines the shared variant flatlines as every counter
+// add ping-pongs one cache line between cores, while the striped variant
+// scales with goroutines; this is the harness-overhead ceiling that
+// would otherwise cap every index in Figs 4 and 5.
+func BenchmarkHeapScaling(b *testing.B) {
+	for _, impl := range []struct {
+		name   string
+		shared bool
+	}{{"striped", false}, {"shared", true}} {
+		for _, g := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", impl.name, g), func(b *testing.B) {
+				heap := pmem.New(pmem.Options{SharedAtomics: impl.shared})
+				per := b.N / g
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for t := 0; t < g; t++ {
+					n := per
+					if t == g-1 {
+						n = b.N - per*(g-1)
+					}
+					wg.Add(1)
+					go func(n int) {
+						defer wg.Done()
+						for i := 0; i < n; i++ {
+							o := heap.Alloc(64)
+							heap.Persist(o, 0, 64)
+							heap.Fence()
+						}
+					}(n)
+				}
+				wg.Wait()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops/s")
+			})
+		}
 	}
 }
 

@@ -11,12 +11,20 @@
 //	go run ./cmd/counters -figure 4c
 //	go run ./cmd/counters -table 4
 //	go run ./cmd/counters -all
+//	go run ./cmd/counters -selftest
+//
+// -selftest verifies the striped instrumentation (internal/stripe)
+// against the shared-atomics reference heap: aggregated Stats() totals
+// must match serial expectations exactly under concurrency, and a
+// deterministic single-thread index run must produce bit-identical
+// counters on both heap implementations.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/cachesim"
 	"repro/internal/core"
@@ -28,19 +36,24 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "", `"4c" or "4d"`)
-		table   = flag.Int("table", 0, "4 for Table 4")
-		all     = flag.Bool("all", false, "run 4c, 4d and Table 4")
-		loadN   = flag.Int("keys", 200_000, "keys loaded before the measured phase")
-		opN     = flag.Int("ops", 200_000, "operations in the measured phase")
-		threads = flag.Int("threads", 4, "worker threads")
-		seed    = flag.Int64("seed", 42, "workload seed")
+		figure   = flag.String("figure", "", `"4c" or "4d"`)
+		table    = flag.Int("table", 0, "4 for Table 4")
+		all      = flag.Bool("all", false, "run 4c, 4d and Table 4")
+		selftest = flag.Bool("selftest", false, "verify striped counter totals against serial expectations and the shared-atomics reference heap")
+		loadN    = flag.Int("keys", 200_000, "keys loaded before the measured phase")
+		opN      = flag.Int("ops", 200_000, "operations in the measured phase")
+		threads  = flag.Int("threads", 4, "worker threads")
+		seed     = flag.Int64("seed", 42, "workload seed")
 	)
 	// The paper's 64M-key working set dwarfs its 32 MB LLC; a scaled-down
 	// run must scale the simulated LLC too or every access hits. 1 MB per
 	// 200K keys keeps the ratio comparable.
 	flag.IntVar(&llcKB, "llckb", 1024, "simulated LLC capacity in KB (paper machine: 32768 at 64M keys)")
 	flag.Parse()
+	if *selftest {
+		runSelftest(*threads, *seed)
+		return
+	}
 	if *all {
 		ordered(keys.RandInt, *loadN, *opN, *threads, *seed)
 		ordered(keys.YCSBString, *loadN, *opN, *threads, *seed)
@@ -55,9 +68,75 @@ func main() {
 	case *table == 4:
 		table4(*loadN, *opN, *threads, *seed)
 	default:
-		fmt.Fprintln(os.Stderr, "specify -figure 4c|4d, -table 4, or -all")
+		fmt.Fprintln(os.Stderr, "specify -figure 4c|4d, -table 4, -selftest, or -all")
 		os.Exit(2)
 	}
+}
+
+// runSelftest proves the striped instrumentation loses nothing: (1) a
+// concurrent hammer on the raw heap must aggregate to exact serial
+// totals; (2) a deterministic single-thread P-ART run must produce
+// bit-identical Stats on the striped and shared-atomics heaps.
+func runSelftest(threads int, seed int64) {
+	if threads < 2 {
+		threads = 4
+	}
+	fail := false
+
+	// (1) Conservation under concurrency.
+	h := pmem.NewFast()
+	const per = 100_000
+	const size = 100 // 2 lines -> 2 clwb per Persist
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				o := h.Alloc(size)
+				h.Persist(o, 0, size)
+				h.Fence()
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Stats()
+	n := uint64(threads) * per
+	fmt.Printf("conservation: %d goroutines x %d ops -> clwb=%d fence=%d allocs=%d bytes=%d\n",
+		threads, per, s.Clwb, s.Fence, s.Allocs, s.AllocBytes)
+	if s.Clwb != 2*n || s.Fence != n || s.Allocs != n || s.AllocBytes != n*size {
+		fmt.Printf("  FAIL: want clwb=%d fence=%d allocs=%d bytes=%d\n", 2*n, n, n, n*size)
+		fail = true
+	} else {
+		fmt.Println("  OK: totals exactly match serial expectations")
+	}
+
+	// (2) Striped vs shared-atomics equality on a real index, single
+	// thread so the op interleaving (and therefore every counter) is
+	// deterministic.
+	run := func(sharedAtomics bool) pmem.Stats {
+		heap := pmem.New(pmem.Options{SharedAtomics: sharedAtomics})
+		idx, err := core.NewOrdered("P-ART", heap, keys.RandInt)
+		check(err)
+		gen := keys.NewGenerator(keys.RandInt)
+		res, err := harness.RunOrdered("P-ART", idx, gen, heap, ycsb.A, 20_000, 20_000, 1, seed)
+		check(err)
+		return res.Stats
+	}
+	striped, shared := run(false), run(true)
+	fmt.Printf("striped heap:  %+v\n", striped)
+	fmt.Printf("shared heap:   %+v\n", shared)
+	if striped != shared {
+		fmt.Println("  FAIL: striped and shared-atomics stats diverge")
+		fail = true
+	} else {
+		fmt.Println("  OK: bit-identical counters on both heap implementations")
+	}
+
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Println("selftest PASS")
 }
 
 var llcKB int

@@ -13,7 +13,8 @@ package cachesim
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/stripe"
 )
 
 // LineSize is the cache line size in bytes assumed throughout the
@@ -35,13 +36,15 @@ func DefaultConfig() Config {
 
 // Cache is a set-associative LRU cache over abstract line addresses. It is
 // safe for concurrent use; each set is guarded by its own lock so that
-// multi-threaded benchmark runs do not serialise on a single mutex.
+// multi-threaded benchmark runs do not serialise on a single mutex, and
+// the hit/miss statistics are striped (internal/stripe) so counting does
+// not reintroduce the shared cache lines the set locks avoid. Accesses
+// are derived: every Access is exactly one hit or one miss.
 type Cache struct {
-	sets     []set
-	setMask  uint64
-	hits     atomic.Uint64
-	misses   atomic.Uint64
-	accesses atomic.Uint64
+	sets    []set
+	setMask uint64
+	hits    *stripe.Counter
+	misses  *stripe.Counter
 }
 
 type set struct {
@@ -65,7 +68,12 @@ func New(cfg Config) *Cache {
 	for p*2 <= nsets {
 		p *= 2
 	}
-	c := &Cache{sets: make([]set, p), setMask: uint64(p - 1)}
+	c := &Cache{
+		sets:    make([]set, p),
+		setMask: uint64(p - 1),
+		hits:    stripe.NewCounter(),
+		misses:  stripe.NewCounter(),
+	}
 	for i := range c.sets {
 		c.sets[i].lines = make([]uint64, 0, cfg.Ways)
 	}
@@ -76,7 +84,6 @@ func New(cfg Config) *Cache {
 // space is abstract: callers supply any stable 64-bit identifier per
 // 64-byte line (the pmem heap derives them from object IDs and offsets).
 func (c *Cache) Access(line uint64) bool {
-	c.accesses.Add(1)
 	// Scramble the line so abstract sequential IDs spread across sets the
 	// way physical addresses do.
 	h := line * 0x9E3779B97F4A7C15
@@ -133,17 +140,19 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Accesses is hits + misses —
+// exact once concurrent Access calls have completed.
 func (c *Cache) Stats() Stats {
-	return Stats{Accesses: c.accesses.Load(), Hits: c.hits.Load(), Misses: c.misses.Load()}
+	h, m := c.hits.Load(), c.misses.Load()
+	return Stats{Accesses: h + m, Hits: h, Misses: m}
 }
 
 // ResetStats zeroes the counters without disturbing cache contents, so a
 // harness can exclude the load phase from measured-phase statistics.
+// Callers must quiesce Access traffic for an exact zero.
 func (c *Cache) ResetStats() {
-	c.accesses.Store(0)
-	c.hits.Store(0)
-	c.misses.Store(0)
+	c.hits.Reset()
+	c.misses.Reset()
 }
 
 // Sets returns the number of sets (for tests).

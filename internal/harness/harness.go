@@ -81,7 +81,7 @@ func RunOrdered(name string, idx core.OrderedIndex, gen *keys.Generator, heap *p
 	res := Result{
 		Index: name, Workload: w.Name, KeyKind: gen.Kind(), Threads: threads,
 		Ops: plan.TotalOps(), Elapsed: elapsed, Stats: heap.Stats().Sub(before),
-		Inserts: countInserts(plan),
+		Inserts: plan.Inserts,
 	}
 	return res, nil
 }
@@ -106,20 +106,8 @@ func RunHash(name string, idx core.HashIndex, gen *keys.Generator, heap *pmem.He
 	return Result{
 		Index: name, Workload: w.Name, KeyKind: gen.Kind(), Threads: threads,
 		Ops: plan.TotalOps(), Elapsed: elapsed, Stats: heap.Stats().Sub(before),
-		Inserts: countInserts(plan),
+		Inserts: plan.Inserts,
 	}, nil
-}
-
-func countInserts(p *ycsb.Plan) int {
-	n := 0
-	for _, ops := range p.Threads {
-		for _, op := range ops {
-			if op.Kind == ycsb.OpInsert {
-				n++
-			}
-		}
-	}
-	return n
 }
 
 // execOrdered runs a plan against an ordered index, one goroutine per

@@ -19,6 +19,15 @@
 // so that flush-heavy indexes pay a throughput penalty, mimicking the
 // asymmetric cost of persistence on Optane. Crash points (§5) are routed
 // to a crash.Injector.
+//
+// Because every index operation passes through the heap, its counters are
+// the hottest shared state in the whole benchmark. They are striped
+// (internal/stripe) so the zero-options fast heap performs no shared-line
+// atomics on the hot path: counter adds go to per-shard padded cells and
+// line allocation bump-allocates from per-shard chunks. Stats aggregates
+// lazily and is exact. Options.SharedAtomics selects the pre-striping
+// reference implementation for ablation benchmarks (see DESIGN.md and
+// BenchmarkHeapScaling).
 package pmem
 
 import (
@@ -28,6 +37,7 @@ import (
 
 	"repro/internal/cachesim"
 	"repro/internal/crash"
+	"repro/internal/stripe"
 )
 
 // LineSize is the simulated cache-line size in bytes.
@@ -63,18 +73,35 @@ type Options struct {
 	// free (unit tests); benchmark harnesses set them.
 	DelayClwb  int
 	DelayFence int
+	// SharedAtomics selects the pre-striping reference instrumentation:
+	// five shared atomic counters on adjacent cache lines, ping-ponged by
+	// every thread. It exists as the ablation baseline for
+	// BenchmarkHeapScaling and `cmd/counters -selftest`; leave it false
+	// for real runs.
+	SharedAtomics bool
 }
 
 // Heap is a simulated persistent-memory pool. It is safe for concurrent
 // use. A Heap with zero-valued Options has negligible overhead: Persist
-// and Fence are single atomic adds, Dirty and Load are a nil check.
+// and Fence touch only shard-private padded counter cells, Alloc
+// bump-allocates from a shard-private chunk, and Dirty and Load are a
+// nil check.
 type Heap struct {
-	nextLine atomic.Uint64
+	// Striped instrumentation (the default).
+	lines  *stripe.Allocator
+	clwb   *stripe.Counter
+	fence  *stripe.Counter
+	allocs *stripe.Counter
+	bytes  *stripe.Counter
 
-	clwb   atomic.Uint64
-	fence  atomic.Uint64
-	allocs atomic.Uint64
-	bytes  atomic.Uint64
+	// Shared-atomics reference instrumentation (Options.SharedAtomics):
+	// the pre-striping layout, kept in-tree as the ablation baseline.
+	shared    bool
+	sNextLine atomic.Uint64
+	sClwb     atomic.Uint64
+	sFence    atomic.Uint64
+	sAllocs   atomic.Uint64
+	sBytes    atomic.Uint64
 
 	llc        *cachesim.Cache
 	tracker    *Tracker
@@ -86,13 +113,22 @@ type Heap struct {
 // New returns a heap configured by opts.
 func New(opts Options) *Heap {
 	h := &Heap{
+		shared:     opts.SharedAtomics,
 		llc:        opts.LLC,
 		inj:        opts.Injector,
 		delayClwb:  opts.DelayClwb,
 		delayFence: opts.DelayFence,
 	}
 	// Line address 0 is reserved so Obj{} is detectably invalid.
-	h.nextLine.Store(1)
+	if h.shared {
+		h.sNextLine.Store(1)
+	} else {
+		h.lines = stripe.NewAllocator(1, stripe.DefaultChunkLines)
+		h.clwb = stripe.NewCounter()
+		h.fence = stripe.NewCounter()
+		h.allocs = stripe.NewCounter()
+		h.bytes = stripe.NewCounter()
+	}
 	if opts.Track {
 		h.tracker = newTracker()
 	}
@@ -121,9 +157,17 @@ func (h *Heap) Alloc(size uintptr) Obj {
 		size = 1
 	}
 	lines := uint32((size + LineSize - 1) / LineSize)
-	base := h.nextLine.Add(uint64(lines)) - uint64(lines)
-	h.allocs.Add(1)
-	h.bytes.Add(uint64(size))
+	var base uint64
+	if h.shared {
+		base = h.sNextLine.Add(uint64(lines)) - uint64(lines)
+		h.sAllocs.Add(1)
+		h.sBytes.Add(uint64(size))
+	} else {
+		k := stripe.Key()
+		base = h.lines.AllocKey(k, uint64(lines))
+		h.allocs.AddKey(k, 1)
+		h.bytes.AddKey(k, uint64(size))
+	}
 	o := Obj{base: base, lines: lines}
 	if h.tracker != nil {
 		h.tracker.dirtyRange(o, 0, size)
@@ -141,7 +185,11 @@ func (h *Heap) Persist(o Obj, off, size uintptr) {
 	first := o.line(off)
 	last := o.line(off + size - 1)
 	n := last - first + 1
-	h.clwb.Add(n)
+	if h.shared {
+		h.sClwb.Add(n)
+	} else {
+		h.clwb.Add(n)
+	}
 	if h.delayClwb > 0 {
 		spin(h.delayClwb * int(n))
 	}
@@ -157,7 +205,11 @@ func (h *Heap) Persist(o Obj, off, size uintptr) {
 
 // Fence simulates mfence: all previously issued clwbs become durable.
 func (h *Heap) Fence() {
-	h.fence.Add(1)
+	if h.shared {
+		h.sFence.Add(1)
+	} else {
+		h.fence.Add(1)
+	}
 	if h.delayFence > 0 {
 		spin(h.delayFence)
 	}
@@ -230,13 +282,25 @@ func (s Stats) Sub(t Stats) Stats {
 	}
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Striped counters aggregate
+// here, off the hot path; totals are exact with respect to completed
+// operations.
 func (h *Heap) Stats() Stats {
-	s := Stats{
-		Clwb:       h.clwb.Load(),
-		Fence:      h.fence.Load(),
-		Allocs:     h.allocs.Load(),
-		AllocBytes: h.bytes.Load(),
+	var s Stats
+	if h.shared {
+		s = Stats{
+			Clwb:       h.sClwb.Load(),
+			Fence:      h.sFence.Load(),
+			Allocs:     h.sAllocs.Load(),
+			AllocBytes: h.sBytes.Load(),
+		}
+	} else {
+		s = Stats{
+			Clwb:       h.clwb.Load(),
+			Fence:      h.fence.Load(),
+			Allocs:     h.allocs.Load(),
+			AllocBytes: h.bytes.Load(),
+		}
 	}
 	if h.llc != nil {
 		s.LLC = h.llc.Stats()
@@ -260,45 +324,79 @@ func spin(n int) {
 
 var spinSink atomic.Uint64
 
+// trackerShards is the number of independently locked shards in the
+// durability tracker (must be a power of two). Striping the single
+// shadow mutex by line hash keeps Track-mode multi-thread runs (the §5
+// durability campaigns) from serialising every store on one lock.
+const trackerShards = 64
+
 // Tracker is the shadow state behind the §5 durability test: it records
 // which lines are dirty, which have been written back but not yet fenced,
-// and reports any line that an operation left unprotected.
+// and reports any line that an operation left unprotected. State is
+// sharded by line hash; each line's transitions are serialised by its
+// shard lock, which is all the per-line dirty→pending→durable protocol
+// needs.
 type Tracker struct {
+	shards [trackerShards]trackerShard
+}
+
+type trackerShard struct {
 	mu      sync.Mutex
 	dirty   map[uint64]bool // line -> true while modified and not clwb'd
 	pending map[uint64]bool // line -> true after clwb, before fence
+	// Pad the 24 bytes above to 128 — the prefetch-pair stride, matching
+	// stripe's padding policy — so adjacent shard locks never share a
+	// paired line.
+	_ [104]byte
 }
 
 func newTracker() *Tracker {
-	return &Tracker{dirty: make(map[uint64]bool), pending: make(map[uint64]bool)}
+	t := &Tracker{}
+	for i := range t.shards {
+		t.shards[i].dirty = make(map[uint64]bool)
+		t.shards[i].pending = make(map[uint64]bool)
+	}
+	return t
+}
+
+// shard maps a line address to its shard; the multiplier scrambles the
+// sequential line addresses the allocator hands out, and the mask takes
+// well-mixed high bits.
+func (t *Tracker) shard(line uint64) *trackerShard {
+	return &t.shards[(line*0x9E3779B97F4A7C15)>>32&(trackerShards-1)]
 }
 
 func (t *Tracker) dirtyRange(o Obj, off, size uintptr) {
-	t.mu.Lock()
 	for l, last := o.line(off), o.line(off+size-1); l <= last; l++ {
-		t.dirty[l] = true
-		delete(t.pending, l) // a store after clwb re-dirties the line
+		s := t.shard(l)
+		s.mu.Lock()
+		s.dirty[l] = true
+		delete(s.pending, l) // a store after clwb re-dirties the line
+		s.mu.Unlock()
 	}
-	t.mu.Unlock()
 }
 
 func (t *Tracker) flushRange(o Obj, off, size uintptr) {
-	t.mu.Lock()
 	for l, last := o.line(off), o.line(off+size-1); l <= last; l++ {
-		if t.dirty[l] {
-			delete(t.dirty, l)
-			t.pending[l] = true
+		s := t.shard(l)
+		s.mu.Lock()
+		if s.dirty[l] {
+			delete(s.dirty, l)
+			s.pending[l] = true
 		}
+		s.mu.Unlock()
 	}
-	t.mu.Unlock()
 }
 
 func (t *Tracker) fence() {
-	t.mu.Lock()
-	for l := range t.pending {
-		delete(t.pending, l)
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for l := range s.pending {
+			delete(s.pending, l)
+		}
+		s.mu.Unlock()
 	}
-	t.mu.Unlock()
 }
 
 // Violation describes a durability failure at an operation boundary.
@@ -317,22 +415,28 @@ func (v Violation) String() string {
 // correctly converted index has an empty result at every operation
 // boundary.
 func (t *Tracker) Check() []Violation {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var out []Violation
-	for l := range t.dirty {
-		out = append(out, Violation{Line: l, Kind: "dirty"})
-	}
-	for l := range t.pending {
-		out = append(out, Violation{Line: l, Kind: "pending"})
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for l := range s.dirty {
+			out = append(out, Violation{Line: l, Kind: "dirty"})
+		}
+		for l := range s.pending {
+			out = append(out, Violation{Line: l, Kind: "pending"})
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
 // Reset clears the shadow state (e.g. between test phases).
 func (t *Tracker) Reset() {
-	t.mu.Lock()
-	t.dirty = make(map[uint64]bool)
-	t.pending = make(map[uint64]bool)
-	t.mu.Unlock()
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.dirty = make(map[uint64]bool)
+		s.pending = make(map[uint64]bool)
+		s.mu.Unlock()
+	}
 }

@@ -1,6 +1,8 @@
 package pmem
 
 import (
+	"sort"
+	"sync"
 	"testing"
 
 	"repro/internal/cachesim"
@@ -191,6 +193,143 @@ func TestDelaySpinRuns(t *testing.T) {
 	h.PersistFence(o, 0, 8) // just exercise the spin path
 	if h.Stats().Clwb != 1 {
 		t.Fatal("counting broken with delays enabled")
+	}
+}
+
+// TestStatsConservationConcurrent is the striping correctness anchor:
+// aggregated Stats() totals after a concurrent run must equal the serial
+// expectation exactly, even though every increment went to a
+// shard-private cell.
+func TestStatsConservationConcurrent(t *testing.T) {
+	for _, shared := range []bool{false, true} {
+		name := "striped"
+		if shared {
+			name = "shared"
+		}
+		t.Run(name, func(t *testing.T) {
+			h := New(Options{SharedAtomics: shared})
+			const goroutines, per = 8, 5_000
+			const size = 100 // spans 2 lines -> 2 clwb per Persist
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						o := h.Alloc(size)
+						h.Persist(o, 0, size)
+						h.Fence()
+					}
+				}()
+			}
+			wg.Wait()
+			s := h.Stats()
+			const n = goroutines * per
+			if s.Allocs != n || s.AllocBytes != n*size || s.Clwb != 2*n || s.Fence != n {
+				t.Fatalf("stats = %+v, want Allocs=%d AllocBytes=%d Clwb=%d Fence=%d",
+					s, n, n*size, 2*n, n)
+			}
+		})
+	}
+}
+
+// TestSharedVsStripedStatsIdentical runs the same serial op sequence on
+// both heap implementations; every counter must match bit-exactly.
+func TestSharedVsStripedStatsIdentical(t *testing.T) {
+	run := func(h *Heap) Stats {
+		for i := 0; i < 1_000; i++ {
+			o := h.Alloc(uintptr(1 + i%300))
+			h.Persist(o, 0, uintptr(1+i%300))
+			if i%3 == 0 {
+				h.Fence()
+			}
+			h.PersistFence(o, 0, 8)
+		}
+		return h.Stats()
+	}
+	striped := run(New(Options{}))
+	shared := run(New(Options{SharedAtomics: true}))
+	if striped != shared {
+		t.Fatalf("striped stats %+v != shared stats %+v", striped, shared)
+	}
+}
+
+// Concurrent allocations must hand out non-overlapping line ranges and
+// never touch reserved line 0 (so Obj{} stays detectably invalid).
+func TestAllocConcurrentNonOverlap(t *testing.T) {
+	h := NewFast()
+	const goroutines, per = 8, 3_000
+	type iv struct{ base, end uint64 }
+	results := make([][]iv, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ivs := make([]iv, 0, per)
+			for i := 0; i < per; i++ {
+				size := uintptr(1 + (g*per+i)%500)
+				o := h.Alloc(size)
+				ivs = append(ivs, iv{o.base, o.base + uint64(o.lines)})
+			}
+			results[g] = ivs
+		}()
+	}
+	wg.Wait()
+	var all []iv
+	for _, ivs := range results {
+		all = append(all, ivs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].base < all[j].base })
+	for i, x := range all {
+		if x.base == 0 {
+			t.Fatal("allocation at reserved line 0")
+		}
+		if i > 0 && all[i-1].end > x.base {
+			t.Fatalf("allocations overlap: [%d,%d) and [%d,%d)",
+				all[i-1].base, all[i-1].end, x.base, x.end)
+		}
+	}
+}
+
+// The shared-atomics reference heap must behave identically through the
+// rest of the API (it backs the scaling ablation baseline).
+func TestSharedAtomicsHeapBasics(t *testing.T) {
+	h := New(Options{SharedAtomics: true})
+	o := h.Alloc(65)
+	if !o.Valid() || o.Lines() != 2 {
+		t.Fatalf("alloc = %+v", o)
+	}
+	h.PersistFence(o, 0, 65)
+	s := h.Stats()
+	if s.Clwb != 2 || s.Fence != 1 || s.Allocs != 1 || s.AllocBytes != 65 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// Tracker striping must preserve per-line protocol under concurrency:
+// after every goroutine persists and fences everything it dirtied, no
+// violations remain.
+func TestTrackerConcurrentFlushCoverage(t *testing.T) {
+	h := New(Options{Track: true})
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				o := h.Alloc(128)
+				h.Dirty(o, 0, 128)
+				h.Persist(o, 0, 128)
+				h.Fence()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := h.Tracker().Check(); len(v) != 0 {
+		t.Fatalf("tracker left %d violations after full persist+fence: %v", len(v), v[:min(len(v), 5)])
 	}
 }
 

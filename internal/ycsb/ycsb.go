@@ -96,6 +96,10 @@ type Plan struct {
 	LoadN int
 	// Threads[i] is the operation stream for thread i.
 	Threads [][]Op
+	// Inserts is the number of OpInsert operations across all threads,
+	// precomputed at generation time so consumers (per-insert counter
+	// columns) need not re-walk the op streams on every run.
+	Inserts int
 }
 
 // TotalOps returns the number of operations across all threads.
@@ -145,6 +149,7 @@ func Generate(w Workload, loadN, opN, threads int, seed int64) *Plan {
 			}
 		}
 		nextInsert = base + used
+		p.Inserts += int(used)
 		p.Threads[t] = ops
 	}
 	return p
@@ -156,7 +161,7 @@ func GenerateLoad(loadN, threads int) *Plan {
 	if threads < 1 {
 		threads = 1
 	}
-	p := &Plan{Workload: LoadA, LoadN: 0, Threads: make([][]Op, threads)}
+	p := &Plan{Workload: LoadA, LoadN: 0, Threads: make([][]Op, threads), Inserts: loadN}
 	per := loadN / threads
 	start := 0
 	for t := 0; t < threads; t++ {

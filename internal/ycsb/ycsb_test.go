@@ -108,6 +108,31 @@ func TestGenerateMixApproximatesWorkload(t *testing.T) {
 	}
 }
 
+// Plan.Inserts is precomputed at generation time; it must equal a walk
+// of the op streams for every workload shape.
+func TestPlanInsertsMatchesOpStreams(t *testing.T) {
+	count := func(p *Plan) int {
+		n := 0
+		for _, ops := range p.Threads {
+			for _, op := range ops {
+				if op.Kind == OpInsert {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	for _, w := range All {
+		p := Generate(w, 500, 3000, 4, 9)
+		if p.Inserts != count(p) {
+			t.Fatalf("workload %s: Inserts = %d, op streams contain %d", w.Name, p.Inserts, count(p))
+		}
+	}
+	if p := GenerateLoad(123, 4); p.Inserts != 123 || count(p) != 123 {
+		t.Fatalf("load plan Inserts = %d (streams %d), want 123", p.Inserts, count(p))
+	}
+}
+
 func TestScanLengthsInRange(t *testing.T) {
 	p := Generate(E, 1000, 20000, 2, 5)
 	sawScan := false
