@@ -204,6 +204,53 @@ func BenchmarkHeapScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkShardScaling sweeps the sharded front-end: insert throughput
+// into a sharded P-ART at H ∈ {1,2,4,8} shards × {1,2,4,8} goroutines.
+// With one heap, all goroutines contend on one index's write locks and
+// one (striped) instrumentation substrate; with H heaps the partitioner
+// spreads them over H independent indexes, the multi-socket-style
+// scaling axis. As with BenchmarkHeapScaling, separation needs
+// GOMAXPROCS > 1 — on a single-CPU container all configurations measure
+// the same serial work plus routing overhead.
+func BenchmarkShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, g := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("shards=%d/goroutines=%d", shards, g), func(b *testing.B) {
+				m, err := recipe.NewShardedOrdered("P-ART", keys.RandInt, recipe.ShardOptions{Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gen := keys.NewGenerator(keys.RandInt)
+				per := b.N / g
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for t := 0; t < g; t++ {
+					n := per
+					if t == g-1 {
+						n = b.N - per*(g-1)
+					}
+					base := uint64(t) << 40 // disjoint id ranges per goroutine
+					wg.Add(1)
+					go func(base uint64, n int) {
+						defer wg.Done()
+						buf := make([]byte, 0, 16)
+						for i := 0; i < n; i++ {
+							buf = gen.AppendKey(buf[:0], base+uint64(i))
+							if err := m.Insert(buf, base+uint64(i)); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(base, n)
+				}
+				wg.Wait()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops/s")
+			})
+		}
+	}
+}
+
 // BenchmarkSec73_WOART: P-ART vs globally locked WOART (§7.3).
 func BenchmarkSec73_WOART(b *testing.B) {
 	for _, name := range []string{"P-ART", "WOART"} {

@@ -10,11 +10,17 @@
 //
 //	go run ./cmd/crashtest                 # paper scale-down: 200 states
 //	go run ./cmd/crashtest -states 10000   # the paper's 10K states
+//	go run ./cmd/crashtest -shards 8       # per-shard recovery campaign width
+//
+// The sharded section arms a crash in one shard of an H-shard front-end
+// and requires recovery to replay only that shard (extraReplays must be
+// 0) with no committed key lost anywhere.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/cceh"
 	"repro/internal/core"
@@ -30,8 +36,13 @@ func main() {
 		loadN   = flag.Int("load", 10_000, "entries loaded while crashes are armed (paper: 10000)")
 		mixedN  = flag.Int("mixed", 10_000, "mixed post-crash operations (paper: 10000)")
 		threads = flag.Int("threads", 4, "threads in the mixed phase (paper: 4)")
+		shards  = flag.Int("shards", 4, "front-end width for the per-shard recovery campaign")
 	)
 	flag.Parse()
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "-shards must be >= 1, got %d\n", *shards)
+		os.Exit(2)
+	}
 
 	fmt.Printf("=== §7.5 crash-recovery testing: %d states, load %d, mixed %d x %d threads ===\n\n",
 		*states, *loadN, *mixedN, *threads)
@@ -79,6 +90,12 @@ func main() {
 		return idx
 	}, *states, *loadN, *mixedN, *threads)
 	fmt.Println("  " + cx.String())
+
+	fmt.Printf("\nSharded front-end, %d shards (crash in shard k must replay only shard k):\n", *shards)
+	for _, name := range []string{"P-ART", "P-Masstree"} {
+		rep := harness.CrashCampaignSharded(name, keys.RandInt, *shards, *states, *loadN, *mixedN, *threads)
+		fmt.Println("  " + rep.String())
+	}
 
 	fmt.Println("\nPublished-bug reproductions (FAIL expected — §3/§7.5 findings):")
 	cf := harness.CrashCampaignHash("CCEH-faithful", func(h *pmem.Heap) core.HashIndex {

@@ -8,10 +8,20 @@
 //
 //	go run ./cmd/ycsbbench -figure 4a -keys 1000000 -ops 1000000 -threads 16
 //	go run ./cmd/ycsbbench -figure all
+//	go run ./cmd/ycsbbench -figure 4a -shards 8 -partition hash
 //
 // Simulated-PM latency is charged per clwb/fence (-clwbdelay/-fencedelay
 // busy-work units) so flush-heavy indexes pay the write-path penalty they
 // pay on Optane.
+//
+// -shards H partitions the key space across H independent heaps behind
+// the sharded front-end (-partition selects hash or range routing for
+// the ordered figures). Every cell additionally re-derives the
+// aggregate Stats() delta from the per-shard deltas and requires
+// bit-exact agreement — a guard against the aggregate and per-shard
+// views ever diverging; the proof that the counters themselves conserve
+// under concurrency is `cmd/counters -selftest` and the shard package's
+// TestStatsConservation.
 package main
 
 import (
@@ -25,7 +35,17 @@ import (
 	"repro/internal/keys"
 	"repro/internal/pmem"
 	"repro/internal/ycsb"
+	"repro/shard"
 )
+
+// config carries the flag settings every figure runner needs.
+type config struct {
+	loadN, opN, threads int
+	seed                int64
+	heap                pmem.Options
+	shards              int
+	part                shard.Partitioner
+}
 
 func main() {
 	var (
@@ -36,19 +56,35 @@ func main() {
 		seed       = flag.Int64("seed", 42, "workload seed")
 		clwbDelay  = flag.Int("clwbdelay", 40, "simulated PM write-back cost per clwb (busy-work units)")
 		fenceDelay = flag.Int("fencedelay", 20, "simulated cost per fence (busy-work units)")
+		shards     = flag.Int("shards", 1, "partitions in the sharded front-end (1 = one heap per cell)")
+		partition  = flag.String("partition", "hash", `key partitioner for ordered figures with -shards > 1: "hash" or "range" (hash figures always route by hash)`)
 	)
 	flag.Parse()
+	part, ok := shard.ByName(*partition)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown partitioner %q (want hash or range)\n", *partition)
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "-shards must be >= 1, got %d\n", *shards)
+		os.Exit(2)
+	}
+	cfg := config{
+		loadN: *loadN, opN: *opN, threads: *threads, seed: *seed,
+		heap:   pmem.Options{DelayClwb: *clwbDelay, DelayFence: *fenceDelay},
+		shards: *shards, part: part,
+	}
 
 	run := func(fig string) {
 		switch fig {
 		case "4a":
-			runOrdered(keys.RandInt, *loadN, *opN, *threads, *seed, *clwbDelay, *fenceDelay)
+			runOrdered(keys.RandInt, cfg)
 		case "4b":
-			runOrdered(keys.YCSBString, *loadN, *opN, *threads, *seed, *clwbDelay, *fenceDelay)
+			runOrdered(keys.YCSBString, cfg)
 		case "5":
-			runHash(*loadN, *opN, *threads, *seed, *clwbDelay, *fenceDelay)
+			runHash(cfg)
 		case "woart":
-			runWOART(*loadN, *opN, *threads, *seed, *clwbDelay, *fenceDelay)
+			runWOART(cfg)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", fig)
 			os.Exit(2)
@@ -63,17 +99,73 @@ func main() {
 	run(*figure)
 }
 
-func heapFor(clwbDelay, fenceDelay int) *pmem.Heap {
-	return pmem.New(pmem.Options{DelayClwb: clwbDelay, DelayFence: fenceDelay})
+// orderedCell runs one (index, workload) measurement through the sharded
+// front-end and verifies aggregate-vs-per-shard counter conservation.
+func orderedCell(name string, kind keys.Kind, w ycsb.Workload, cfg config) harness.Result {
+	m, err := shard.NewOrdered(name, kind, shard.Options{
+		Shards: cfg.shards, Partitioner: cfg.part, Heap: cfg.heap,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	gen := keys.NewGenerator(kind)
+	before := m.ShardStats()
+	aggBefore := m.Stats()
+	res, err := harness.RunOrdered(name, m, gen, m, w, cfg.loadN, cfg.opN, cfg.threads, cfg.seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", name, w.Name, err)
+		os.Exit(1)
+	}
+	checkConservation(name, w.Name, m.Stats().Sub(aggBefore), m.ShardStats(), before)
+	return res
 }
 
-func runOrdered(kind keys.Kind, loadN, opN, threads int, seed int64, cd, fd int) {
+// hashCell is orderedCell for unordered indexes.
+func hashCell(name string, w ycsb.Workload, cfg config) harness.Result {
+	m, err := shard.NewHash(name, shard.Options{Shards: cfg.shards, Heap: cfg.heap})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	gen := keys.NewGenerator(keys.RandInt)
+	before := m.ShardStats()
+	aggBefore := m.Stats()
+	res, err := harness.RunHash(name, m, gen, m, w, cfg.loadN, cfg.opN, cfg.threads, cfg.seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", name, w.Name, err)
+		os.Exit(1)
+	}
+	checkConservation(name, w.Name, m.Stats().Sub(aggBefore), m.ShardStats(), before)
+	return res
+}
+
+// checkConservation asserts the aggregate Stats delta equals the
+// field-wise sum of per-shard deltas bit-exactly. Today Stats() is
+// defined as that sum, so this is a guard against the two views
+// diverging (say, a future cached aggregate) rather than an independent
+// proof; counter conservation itself is proven against serial
+// expectations by `cmd/counters -selftest` and shard's
+// TestStatsConservation.
+func checkConservation(index, workload string, agg pmem.Stats, after, before []pmem.Stats) {
+	var sum pmem.Stats
+	for i := range after {
+		sum = sum.Add(after[i].Sub(before[i]))
+	}
+	if agg != sum {
+		fmt.Fprintf(os.Stderr, "\n%s/%s: aggregate stats %+v != sum of shard stats %+v\n",
+			index, workload, agg, sum)
+		os.Exit(1)
+	}
+}
+
+func runOrdered(kind keys.Kind, cfg config) {
 	fig := "4a"
 	if kind == keys.YCSBString {
 		fig = "4b"
 	}
-	fmt.Printf("\n=== Fig %s: ordered indexes, %s keys, %d threads, load %d + run %d ===\n",
-		fig, kind, threads, loadN, opN)
+	fmt.Printf("\n=== Fig %s: ordered indexes, %s keys, %d threads, %d shard(s) (%s), load %d + run %d ===\n",
+		fig, kind, cfg.threads, cfg.shards, cfg.part.Name(), cfg.loadN, cfg.opN)
 	fmt.Printf("%-12s", "Index")
 	for _, w := range ycsb.All {
 		fmt.Printf(" %10s", w.Name)
@@ -82,27 +174,15 @@ func runOrdered(kind keys.Kind, loadN, opN, threads int, seed int64, cd, fd int)
 	for _, name := range core.OrderedNames {
 		fmt.Printf("%-12s", name)
 		for _, w := range ycsb.All {
-			heap := heapFor(cd, fd)
-			idx, err := core.NewOrdered(name, heap, kind)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			gen := keys.NewGenerator(kind)
-			res, err := harness.RunOrdered(name, idx, gen, heap, w, loadN, opN, threads, seed)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", name, w.Name, err)
-				os.Exit(1)
-			}
-			fmt.Printf(" %10.3f", res.MopsPerSec())
+			fmt.Printf(" %10.3f", orderedCell(name, kind, w, cfg).MopsPerSec())
 		}
 		fmt.Println()
 	}
 }
 
-func runHash(loadN, opN, threads int, seed int64, cd, fd int) {
-	fmt.Printf("\n=== Fig 5: hash indexes, integer keys, %d threads, load %d + run %d ===\n",
-		threads, loadN, opN)
+func runHash(cfg config) {
+	fmt.Printf("\n=== Fig 5: hash indexes, integer keys, %d threads, %d shard(s) (hash), load %d + run %d ===\n",
+		cfg.threads, cfg.shards, cfg.loadN, cfg.opN)
 	fmt.Printf("%-14s", "Index")
 	hashWorkloads := []ycsb.Workload{ycsb.LoadA, ycsb.A, ycsb.B, ycsb.C}
 	for _, w := range hashWorkloads {
@@ -112,26 +192,15 @@ func runHash(loadN, opN, threads int, seed int64, cd, fd int) {
 	for _, name := range core.HashNames {
 		fmt.Printf("%-14s", name)
 		for _, w := range hashWorkloads {
-			heap := heapFor(cd, fd)
-			idx, err := core.NewHash(name, heap)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			gen := keys.NewGenerator(keys.RandInt)
-			res, err := harness.RunHash(name, idx, gen, heap, w, loadN, opN, threads, seed)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", name, w.Name, err)
-				os.Exit(1)
-			}
-			fmt.Printf(" %10.3f", res.MopsPerSec())
+			fmt.Printf(" %10.3f", hashCell(name, w, cfg).MopsPerSec())
 		}
 		fmt.Println()
 	}
 }
 
-func runWOART(loadN, opN, threads int, seed int64, cd, fd int) {
-	fmt.Printf("\n=== §7.3: P-ART vs WOART (global lock), integer keys, %d threads ===\n", threads)
+func runWOART(cfg config) {
+	fmt.Printf("\n=== §7.3: P-ART vs WOART (global lock), integer keys, %d threads, %d shard(s) ===\n",
+		cfg.threads, cfg.shards)
 	fmt.Printf("%-8s", "Index")
 	for _, w := range ycsb.All {
 		fmt.Printf(" %10s", w.Name)
@@ -140,19 +209,7 @@ func runWOART(loadN, opN, threads int, seed int64, cd, fd int) {
 	for _, name := range []string{"P-ART", "WOART"} {
 		fmt.Printf("%-8s", name)
 		for _, w := range ycsb.All {
-			heap := heapFor(cd, fd)
-			idx, err := core.NewOrdered(name, heap, keys.RandInt)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			gen := keys.NewGenerator(keys.RandInt)
-			res, err := harness.RunOrdered(name, idx, gen, heap, w, loadN, opN, threads, seed)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", name, w.Name, err)
-				os.Exit(1)
-			}
-			fmt.Printf(" %10.3f", res.MopsPerSec())
+			fmt.Printf(" %10.3f", orderedCell(name, keys.RandInt, w, cfg).MopsPerSec())
 		}
 		fmt.Println()
 	}

@@ -1,4 +1,4 @@
-// Crashdemo: walk through RECIPE's crash-consistency story on P-ART
+// Command crashdemo walks through RECIPE's crash-consistency story on P-ART
 // (§4.5, §6.4). A crash is injected exactly between the two ordered
 // atomic steps of a path-compression split — the state that leaves a
 // permanently stale prefix. Readers tolerate it immediately; the first

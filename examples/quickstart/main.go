@@ -1,5 +1,5 @@
-// Quickstart: build a RECIPE-converted persistent index, write and read
-// through it, and inspect the persistence counters the simulated PM heap
+// Command quickstart builds a RECIPE-converted persistent index, writes and reads
+// through it, and inspects the persistence counters the simulated PM heap
 // collects (the clwb/mfence placements are the RECIPE conversion).
 package main
 

@@ -1,4 +1,4 @@
-// Sessionstore: the YCSB-A application pattern of Table 3 ("a session
+// Command sessionstore runs the YCSB-A application pattern of Table 3 ("a session
 // store") on P-CLHT, the paper's headline conversion (30 LOC, beats the
 // state-of-the-art hand-crafted PM hash table by up to 2.4x).
 //

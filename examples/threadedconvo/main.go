@@ -1,4 +1,4 @@
-// Threadedconvo: the YCSB-E application pattern of Table 3 ("threaded
+// Command threadedconvo runs the YCSB-E application pattern of Table 3 ("threaded
 // conversations") on P-Masstree. Messages are keyed by
 // (conversation, sequence) so fetching a thread is a short range scan
 // starting at the conversation prefix — 95% scans, 5% appends.

@@ -1,6 +1,7 @@
 // Package harness executes the paper's experiments: multi-threaded YCSB
 // runs with per-operation performance counters (Figs 4 and 5, Table 4),
-// the §5/§7.5 crash-recovery campaigns, and the §5 durability test.
+// the §5/§7.5 crash-recovery campaigns (single-heap and sharded), and
+// the §5 durability test.
 package harness
 
 import (
@@ -13,7 +14,16 @@ import (
 	"repro/internal/keys"
 	"repro/internal/pmem"
 	"repro/internal/ycsb"
+	"repro/shard"
 )
+
+// StatsSource yields heap-counter snapshots for the measured phase. A
+// single *pmem.Heap satisfies it, and so does the sharded front-end
+// (shard.Ordered / shard.Hash), whose Stats aggregates every per-shard
+// heap — the run functions below work unchanged over both.
+type StatsSource interface {
+	Stats() pmem.Stats
+}
 
 // Result is one (index, workload) measurement.
 type Result struct {
@@ -66,13 +76,13 @@ func (r Result) LLCMissPerOp() float64 {
 // plan across its threads, returning measured-phase results. The load
 // phase mirrors the paper: populate with Load A, then run the respective
 // workload (§7).
-func RunOrdered(name string, idx core.OrderedIndex, gen *keys.Generator, heap *pmem.Heap, w ycsb.Workload, loadN, opN, threads int, seed int64) (Result, error) {
+func RunOrdered(name string, idx core.OrderedIndex, gen *keys.Generator, stats StatsSource, w ycsb.Workload, loadN, opN, threads int, seed int64) (Result, error) {
 	load := ycsb.GenerateLoad(loadN, threads)
 	if err := execOrdered(idx, gen, load); err != nil {
 		return Result{}, fmt.Errorf("load phase: %w", err)
 	}
 	plan := ycsb.Generate(w, loadN, opN, threads, seed)
-	before := heap.Stats()
+	before := stats.Stats()
 	start := time.Now()
 	if err := execOrdered(idx, gen, plan); err != nil {
 		return Result{}, fmt.Errorf("run phase: %w", err)
@@ -80,7 +90,7 @@ func RunOrdered(name string, idx core.OrderedIndex, gen *keys.Generator, heap *p
 	elapsed := time.Since(start)
 	res := Result{
 		Index: name, Workload: w.Name, KeyKind: gen.Kind(), Threads: threads,
-		Ops: plan.TotalOps(), Elapsed: elapsed, Stats: heap.Stats().Sub(before),
+		Ops: plan.TotalOps(), Elapsed: elapsed, Stats: stats.Stats().Sub(before),
 		Inserts: plan.Inserts,
 	}
 	return res, nil
@@ -88,7 +98,7 @@ func RunOrdered(name string, idx core.OrderedIndex, gen *keys.Generator, heap *p
 
 // RunHash is RunOrdered for unordered indexes (integer keys only, as in
 // the paper; scan ops are invalid).
-func RunHash(name string, idx core.HashIndex, gen *keys.Generator, heap *pmem.Heap, w ycsb.Workload, loadN, opN, threads int, seed int64) (Result, error) {
+func RunHash(name string, idx core.HashIndex, gen *keys.Generator, stats StatsSource, w ycsb.Workload, loadN, opN, threads int, seed int64) (Result, error) {
 	if w.ScanPct > 0 {
 		return Result{}, fmt.Errorf("harness: workload %s has scans; unordered indexes do not support them", w.Name)
 	}
@@ -97,7 +107,7 @@ func RunHash(name string, idx core.HashIndex, gen *keys.Generator, heap *pmem.He
 		return Result{}, fmt.Errorf("load phase: %w", err)
 	}
 	plan := ycsb.Generate(w, loadN, opN, threads, seed)
-	before := heap.Stats()
+	before := stats.Stats()
 	start := time.Now()
 	if err := execHash(idx, gen, plan); err != nil {
 		return Result{}, fmt.Errorf("run phase: %w", err)
@@ -105,7 +115,7 @@ func RunHash(name string, idx core.HashIndex, gen *keys.Generator, heap *pmem.He
 	elapsed := time.Since(start)
 	return Result{
 		Index: name, Workload: w.Name, KeyKind: gen.Kind(), Threads: threads,
-		Ops: plan.TotalOps(), Elapsed: elapsed, Stats: heap.Stats().Sub(before),
+		Ops: plan.TotalOps(), Elapsed: elapsed, Stats: stats.Stats().Sub(before),
 		Inserts: plan.Inserts,
 	}, nil
 }
@@ -339,6 +349,121 @@ func CrashCampaignHash(name string, factory func(*pmem.Heap) core.HashIndex, sta
 		wg.Wait()
 		for k, v := range committed {
 			if got, ok := idx.Lookup(k); !ok || got != v {
+				rep.LostKeys++
+			}
+		}
+	}
+	return rep
+}
+
+// ShardCrashReport summarises a per-shard crash-recovery campaign.
+type ShardCrashReport struct {
+	CrashReport
+	// Shards is the partition count H of the sharded front-end.
+	Shards int
+	// ExtraReplays counts recovery replays of shards that did not crash
+	// — any non-zero value breaks the per-shard recovery invariant.
+	ExtraReplays int
+}
+
+// Pass reports whether the campaign found no crash-consistency failures
+// and never replayed a shard that did not crash.
+func (r ShardCrashReport) Pass() bool {
+	return r.CrashReport.Pass() && r.ExtraReplays == 0
+}
+
+func (r ShardCrashReport) String() string {
+	verdict := "PASS"
+	if !r.Pass() {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%-12s shards=%d states=%d crashed=%d lost=%d writeFail=%d recoveryFail=%d extraReplays=%d  %s",
+		r.Index, r.Shards, r.States, r.Crashed, r.LostKeys, r.WriteFailures, r.RecoveryFailures, r.ExtraReplays, verdict)
+}
+
+// CrashCampaignSharded runs the §5/§7.5 crash-recovery methodology
+// against the sharded front-end with the per-shard recovery discipline:
+// for each trial a crash is armed in one shard (rotating over shards),
+// load proceeds until it fires, and recovery replays only the shards
+// whose injector fired — the campaign counts any replay of a healthy
+// shard as an ExtraReplays violation. After recovery a multi-threaded
+// mixed phase runs against all shards, and every committed key is read
+// back.
+func CrashCampaignSharded(name string, kind keys.Kind, shards, states, loadN, mixedN, threads int) ShardCrashReport {
+	if shards < 1 {
+		shards = 1 // match shard.Options, which clamps Shards < 1 to 1
+	}
+	gen := keys.NewGenerator(kind)
+	rep := ShardCrashReport{CrashReport: CrashReport{Index: name}, Shards: shards}
+	for s := 0; s < states; s++ {
+		rep.States++
+		m, err := shard.NewOrdered(name, kind, shard.Options{Shards: shards})
+		if err != nil {
+			rep.RecoveryFailures++
+			continue
+		}
+		target := s % shards
+		m.Heap(target).SetInjector(crash.NewProbabilistic(0.002, int64(s)+1))
+		committed := make(map[uint64]uint64, loadN)
+		for i := 0; i < loadN; i++ {
+			id := uint64(i)
+			err := m.Insert(gen.Key(id), id)
+			if crash.IsCrash(err) {
+				rep.Crashed++
+				break
+			}
+			if err != nil {
+				rep.WriteFailures++
+				break
+			}
+			committed[id] = id
+		}
+		// RecoverCrashed keys on the fired injector and clears it; only
+		// disarm by hand when no crash fired this trial.
+		if !m.Heap(target).Injector().Fired() {
+			m.Heap(target).SetInjector(nil)
+		}
+		if _, err := m.RecoverCrashed(); err != nil {
+			rep.RecoveryFailures++
+			continue
+		}
+		// Per-shard replay counts catch any replay path; only the armed
+		// shard may have been replayed.
+		for i, n := range m.Recoveries() {
+			if i != target && n > 0 {
+				rep.ExtraReplays += int(n)
+			}
+		}
+		// Mixed phase: concurrent inserts and reads across all shards.
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for t := 0; t < threads; t++ {
+			t := t
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				base := uint64(1_000_000 + s*100_000 + t*10_000)
+				for i := 0; i < mixedN/threads; i++ {
+					id := base + uint64(i)
+					if i%2 == 0 {
+						if err := m.Insert(gen.Key(id), id); err != nil {
+							mu.Lock()
+							rep.WriteFailures++
+							mu.Unlock()
+							return
+						}
+						mu.Lock()
+						committed[id] = id
+						mu.Unlock()
+					} else {
+						m.Lookup(gen.Key(id - 1))
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for id, v := range committed {
+			if got, ok := m.Lookup(gen.Key(id)); !ok || got != v {
 				rep.LostKeys++
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/keys"
 	"repro/internal/pmem"
 	"repro/internal/ycsb"
+	"repro/shard"
 )
 
 func TestRunOrderedAllWorkloads(t *testing.T) {
@@ -130,5 +131,70 @@ func TestResultMetricsZeroSafe(t *testing.T) {
 	var r Result
 	if r.MopsPerSec() != 0 || r.ClwbPerInsert() != 0 || r.FencePerInsert() != 0 || r.LLCMissPerOp() != 0 {
 		t.Fatal("zero Result should produce zero metrics")
+	}
+}
+
+// TestRunShardedAllWorkloads drives every YCSB workload through the
+// sharded front-end via the unchanged RunOrdered entry point (the
+// front-end is both the index and the StatsSource), and checks that the
+// aggregate Stats delta conserves against the per-shard deltas exactly.
+func TestRunShardedAllWorkloads(t *testing.T) {
+	for _, w := range ycsb.All {
+		m, err := shard.NewOrdered("P-ART", keys.RandInt, shard.Options{Shards: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := keys.NewGenerator(keys.RandInt)
+		before := m.ShardStats()
+		aggBefore := m.Stats()
+		res, err := RunOrdered("P-ART", m, gen, m, w, 5000, 5000, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if res.Ops != 5000 {
+			t.Fatalf("%s ops = %d", w.Name, res.Ops)
+		}
+		var sum pmem.Stats
+		for i, p := range m.ShardStats() {
+			sum = sum.Add(p.Sub(before[i]))
+		}
+		if agg := m.Stats().Sub(aggBefore); agg != sum {
+			t.Fatalf("%s: aggregate delta %+v != sum of shard deltas %+v", w.Name, agg, sum)
+		}
+	}
+}
+
+// TestRunShardedHash drives the sharded unordered front-end through
+// RunHash.
+func TestRunShardedHash(t *testing.T) {
+	m, err := shard.NewHash("P-CLHT", shard.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := keys.NewGenerator(keys.RandInt)
+	res, err := RunHash("P-CLHT", m, gen, m, ycsb.A, 5000, 5000, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 5000 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+}
+
+// TestCrashCampaignShardedPasses: the per-shard campaign must lose no
+// keys and never replay a healthy shard.
+func TestCrashCampaignShardedPasses(t *testing.T) {
+	rep := CrashCampaignSharded("P-ART", keys.RandInt, 4, 12, 4000, 2000, 4)
+	if !rep.Pass() {
+		t.Fatalf("sharded campaign failed: %s", rep)
+	}
+	if rep.Crashed == 0 {
+		t.Fatal("campaign never crashed; injector not exercising shards")
+	}
+	if rep.ExtraReplays != 0 {
+		t.Fatalf("healthy shards replayed %d times: %s", rep.ExtraReplays, rep)
+	}
+	if !strings.Contains(rep.String(), "shards=4") {
+		t.Fatalf("report missing shard count: %s", rep)
 	}
 }

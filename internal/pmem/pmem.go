@@ -267,6 +267,21 @@ type Stats struct {
 	LLC        cachesim.Stats
 }
 
+// Add returns s + t field-wise (for aggregating per-shard snapshots).
+func (s Stats) Add(t Stats) Stats {
+	return Stats{
+		Clwb:       s.Clwb + t.Clwb,
+		Fence:      s.Fence + t.Fence,
+		Allocs:     s.Allocs + t.Allocs,
+		AllocBytes: s.AllocBytes + t.AllocBytes,
+		LLC: cachesim.Stats{
+			Accesses: s.LLC.Accesses + t.LLC.Accesses,
+			Hits:     s.LLC.Hits + t.LLC.Hits,
+			Misses:   s.LLC.Misses + t.LLC.Misses,
+		},
+	}
+}
+
 // Sub returns s - t field-wise (for per-phase deltas).
 func (s Stats) Sub(t Stats) Stats {
 	return Stats{

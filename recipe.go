@@ -10,8 +10,11 @@
 // path). This package exposes the five converted indexes of the paper
 // (P-ART, P-HOT, P-BwTree, P-CLHT, P-Masstree), the four hand-crafted PM
 // baselines they are evaluated against (FAST & FAIR, CCEH, Level Hashing,
-// WOART), the simulated persistent-memory substrate they run on, and the
-// crash-testing methodology of §5.
+// WOART), the simulated persistent-memory substrate they run on, the
+// crash-testing methodology of §5, and a sharded front-end that
+// partitions the key space across many independent heaps for
+// multi-socket-style scaling and per-shard crash recovery (see
+// NewShardedOrdered and the shard package).
 //
 // Quick start:
 //
@@ -36,6 +39,7 @@ import (
 	"repro/internal/keys"
 	"repro/internal/pmem"
 	"repro/internal/ycsb"
+	"repro/shard"
 )
 
 // OrderedIndex is a persistent index supporting point and range queries
@@ -113,15 +117,59 @@ func WorkloadByName(name string) (Workload, error) { return ycsb.ByName(name) }
 // per-operation counters.
 type Result = harness.Result
 
+// StatsSource yields heap-counter snapshots for a measured phase: a
+// single *Heap, or a sharded front-end aggregating many heaps.
+type StatsSource = harness.StatsSource
+
 // RunOrderedWorkload loads loadN keys and executes opN operations of w
-// against a fresh run of idx across threads, as §7 does.
-func RunOrderedWorkload(name string, idx OrderedIndex, gen *KeyGenerator, heap *Heap, w Workload, loadN, opN, threads int, seed int64) (Result, error) {
-	return harness.RunOrdered(name, idx, gen, heap, w, loadN, opN, threads, seed)
+// against a fresh run of idx across threads, as §7 does. stats is the
+// counter source for the measured-phase delta — the heap idx runs on,
+// or the sharded front-end itself.
+func RunOrderedWorkload(name string, idx OrderedIndex, gen *KeyGenerator, stats StatsSource, w Workload, loadN, opN, threads int, seed int64) (Result, error) {
+	return harness.RunOrdered(name, idx, gen, stats, w, loadN, opN, threads, seed)
 }
 
 // RunHashWorkload is RunOrderedWorkload for unordered indexes.
-func RunHashWorkload(name string, idx HashIndex, gen *KeyGenerator, heap *Heap, w Workload, loadN, opN, threads int, seed int64) (Result, error) {
-	return harness.RunHash(name, idx, gen, heap, w, loadN, opN, threads, seed)
+func RunHashWorkload(name string, idx HashIndex, gen *KeyGenerator, stats StatsSource, w Workload, loadN, opN, threads int, seed int64) (Result, error) {
+	return harness.RunHash(name, idx, gen, stats, w, loadN, opN, threads, seed)
+}
+
+// ShardedOrdered is a sharded ordered index: the key space is
+// partitioned across NumShards independent heaps, each with its own
+// converted index instance and durability tracker. It implements
+// OrderedIndex and StatsSource, so it drops into RunOrderedWorkload
+// unchanged. A crash in one shard is recovered by replaying that shard
+// alone (RecoverCrashed).
+type ShardedOrdered = shard.Ordered
+
+// ShardedHash is ShardedOrdered for unordered indexes.
+type ShardedHash = shard.Hash
+
+// ShardOptions configures a sharded front-end: the shard count, the
+// partitioner (hash default, range optional), and the per-shard heap
+// options.
+type ShardOptions = shard.Options
+
+// Partitioner routes byte-string keys to shards. HashPartition (the
+// default) balances any key population; RangePartition preserves key
+// order so scans touch few shards.
+type Partitioner = shard.Partitioner
+
+// HashPartition is the default partitioner (FNV-1a + Mix64).
+type HashPartition = shard.HashPartition
+
+// RangePartition is the order-preserving partitioner.
+type RangePartition = shard.RangePartition
+
+// NewShardedOrdered builds the named ordered index on each of
+// opts.Shards private heaps behind one front-end.
+func NewShardedOrdered(name string, kind KeyKind, opts ShardOptions) (*ShardedOrdered, error) {
+	return shard.NewOrdered(name, kind, opts)
+}
+
+// NewShardedHash is NewShardedOrdered for unordered indexes.
+func NewShardedHash(name string, opts ShardOptions) (*ShardedHash, error) {
+	return shard.NewHash(name, opts)
 }
 
 // CrashReport summarises a §7.5 crash-recovery campaign.
@@ -136,6 +184,18 @@ func CrashCampaignOrdered(name string, factory func(*Heap) OrderedIndex, kind Ke
 // CrashCampaignHash is CrashCampaignOrdered for unordered indexes.
 func CrashCampaignHash(name string, factory func(*Heap) HashIndex, states, loadN, mixedN, threads int) CrashReport {
 	return harness.CrashCampaignHash(name, factory, states, loadN, mixedN, threads)
+}
+
+// ShardCrashReport summarises a per-shard crash-recovery campaign: a
+// CrashReport plus the shard count and the count of healthy-shard
+// replays (which must be zero).
+type ShardCrashReport = harness.ShardCrashReport
+
+// CrashCampaignSharded runs the crash-recovery methodology against the
+// sharded front-end with the per-shard recovery discipline: a crash in
+// shard k is recovered by replaying shard k alone.
+func CrashCampaignSharded(name string, kind KeyKind, shards, states, loadN, mixedN, threads int) ShardCrashReport {
+	return harness.CrashCampaignSharded(name, kind, shards, states, loadN, mixedN, threads)
 }
 
 // DurabilityReport summarises a §5 durability (flush-coverage) test.

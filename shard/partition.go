@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"math"
+
+	"repro/internal/keys"
+)
+
+// Partitioner maps a byte-string key to one of `shards` shards. The
+// mapping must be deterministic and total: every key routes to exactly
+// one shard in [0, shards), every time. Routing runs on the operation
+// hot path, so implementations should be allocation-free.
+type Partitioner interface {
+	// Shard returns the shard index for key, in [0, shards).
+	Shard(key []byte, shards int) int
+	// Name identifies the partitioner in reports and flags.
+	Name() string
+}
+
+// HashPartition is the default partitioner: a 64-bit FNV-1a hash of the
+// whole key, finalised with keys.Mix64 and reduced modulo the shard
+// count. It balances any key population (including the skewed prefixes
+// of YCSB "user..." string keys) at the cost of scattering adjacent keys
+// across shards, which makes range scans merge across all shards.
+type HashPartition struct{}
+
+// Shard implements Partitioner.
+func (HashPartition) Shard(key []byte, shards int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int(keys.Mix64(h) % uint64(shards))
+}
+
+// Name implements Partitioner.
+func (HashPartition) Name() string { return "hash" }
+
+// RangePartition splits the key space into `shards` equal contiguous
+// ranges of the first eight key bytes (big-endian, zero-padded). It is
+// order-preserving — adjacent keys land in the same or adjacent shard,
+// so range scans touch few shards — but it only balances populations
+// whose leading bytes are uniform (e.g. the RandInt keys, which are
+// Mix64-scrambled). YCSB string keys all share the "user" prefix and
+// would degenerate to one shard; use HashPartition for those.
+type RangePartition struct{}
+
+// Shard implements Partitioner.
+func (RangePartition) Shard(key []byte, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v <<= 8
+		if i < len(key) {
+			v |= uint64(key[i])
+		}
+	}
+	// Divide 2^64 into `shards` equal ranges. width = ceil(2^64 / shards),
+	// so v/width < shards for every v.
+	width := math.MaxUint64/uint64(shards) + 1
+	return int(v / width)
+}
+
+// Name implements Partitioner.
+func (RangePartition) Name() string { return "range" }
+
+// Partitioner64 is Partitioner for the unordered indexes, which key on
+// non-zero uint64 values directly.
+type Partitioner64 interface {
+	// Shard returns the shard index for key, in [0, shards).
+	Shard(key uint64, shards int) int
+	// Name identifies the partitioner in reports and flags.
+	Name() string
+}
+
+// HashPartition64 is the default uint64 partitioner: keys.Mix64 reduced
+// modulo the shard count.
+type HashPartition64 struct{}
+
+// Shard implements Partitioner64.
+func (HashPartition64) Shard(key uint64, shards int) int {
+	return int(keys.Mix64(key) % uint64(shards))
+}
+
+// Name implements Partitioner64.
+func (HashPartition64) Name() string { return "hash" }
+
+// ByName returns the named byte-key partitioner ("hash" or "range"),
+// for flag parsing in the command-line harnesses.
+func ByName(name string) (Partitioner, bool) {
+	switch name {
+	case "hash":
+		return HashPartition{}, true
+	case "range":
+		return RangePartition{}, true
+	default:
+		return nil, false
+	}
+}

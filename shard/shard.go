@@ -1,0 +1,332 @@
+// Package shard is the sharded multi-heap front-end: it partitions the
+// key space across H independent simulated-PM heaps, each carrying its
+// own converted index instance and its own durability tracker, behind
+// the same map-style API the root recipe package exposes for a single
+// heap.
+//
+// One pmem.Heap already scales within a socket (its counters and line
+// allocator are striped, see internal/stripe), but a single heap still
+// models a single PM pool: one address space, one crash/recovery domain,
+// one LLC. Sharding models the next axis — multi-socket-style placement,
+// where "Evaluating Persistent Memory Range Indexes: Part Two" (He et
+// al.) shows cross-socket traffic dominates PM index throughput — by
+// giving every shard a private heap, index, tracker and injector.
+// Because shards share nothing, a crash in shard k is recovered by
+// replaying shard k alone (the per-partition recovery argument of APEX),
+// and restart cost is proportional to shard size, not index size.
+//
+// A pluggable Partitioner routes keys: HashPartition (the default)
+// balances any population, RangePartition preserves key order so scans
+// touch few shards. Ordered and Hash implement the same interfaces as
+// the underlying indexes (core.OrderedIndex, core.HashIndex) plus a
+// Stats method, so they drop into the existing harness unchanged.
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+)
+
+// Options configures a sharded front-end.
+type Options struct {
+	// Shards is the number of partitions H. Values < 1 select 1.
+	Shards int
+	// Partitioner routes byte-string keys (Ordered). Nil selects
+	// HashPartition.
+	Partitioner Partitioner
+	// Partitioner64 routes uint64 keys (Hash). Nil selects
+	// HashPartition64.
+	Partitioner64 Partitioner64
+	// Heap configures every per-shard heap (latency model, tracking,
+	// LLC, shared-atomics ablation). Injectors are not shared: arm a
+	// single shard via Heap(i).SetInjector.
+	Heap pmem.Options
+}
+
+func (o Options) shards() int {
+	if o.Shards < 1 {
+		return 1
+	}
+	return o.Shards
+}
+
+// index is what the shared front-end machinery needs from a per-shard
+// index; both core.OrderedIndex and core.HashIndex satisfy it.
+type index interface {
+	Recover() error
+	Len() int
+}
+
+// shardOf is one partition: a private heap and the index built on it.
+type shardOf[IX index] struct {
+	heap *pmem.Heap
+	idx  IX
+	// recoveries counts Recover replays of this shard, so tests and
+	// campaigns can assert that a crash in shard k replayed only shard k.
+	recoveries uint64
+}
+
+// frontend is the key-type-independent half of a sharded front-end: the
+// partition array plus everything that iterates it (length, recovery,
+// stats). Ordered and Hash embed it and add routing, point operations,
+// and (for Ordered) the merged Scan.
+type frontend[IX index] struct {
+	shards []shardOf[IX]
+}
+
+// newFrontend builds one (heap, index) pair per shard.
+func newFrontend[IX index](factory func(*pmem.Heap) (IX, error), opts Options) (frontend[IX], error) {
+	f := frontend[IX]{shards: make([]shardOf[IX], opts.shards())}
+	for i := range f.shards {
+		heap := pmem.New(opts.Heap)
+		idx, err := factory(heap)
+		if err != nil {
+			return frontend[IX]{}, fmt.Errorf("shard %d: %w", i, err)
+		}
+		f.shards[i] = shardOf[IX]{heap: heap, idx: idx}
+	}
+	return f, nil
+}
+
+// Len returns the number of live keys across all shards.
+func (f *frontend[IX]) Len() int {
+	n := 0
+	for i := range f.shards {
+		n += f.shards[i].idx.Len()
+	}
+	return n
+}
+
+// Recover replays recovery on every shard (a whole-machine restart). It
+// must not be called concurrently with index operations.
+func (f *frontend[IX]) Recover() error {
+	for i := range f.shards {
+		if err := f.RecoverShard(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecoverShard replays recovery on shard i alone. It must not be called
+// concurrently with index operations.
+func (f *frontend[IX]) RecoverShard(i int) error {
+	f.shards[i].recoveries++
+	if err := f.shards[i].idx.Recover(); err != nil {
+		return fmt.Errorf("shard %d: %w", i, err)
+	}
+	return nil
+}
+
+// RecoverCrashed recovers exactly the shards whose injector fired,
+// clearing each fired injector first, and returns their indices. Shards
+// that did not crash are not replayed — the per-shard recovery
+// invariant. It must not be called concurrently with index operations.
+func (f *frontend[IX]) RecoverCrashed() ([]int, error) {
+	var recovered []int
+	for i := range f.shards {
+		if inj := f.shards[i].heap.Injector(); inj.Fired() {
+			f.shards[i].heap.SetInjector(nil)
+			if err := f.RecoverShard(i); err != nil {
+				return recovered, err
+			}
+			recovered = append(recovered, i)
+		}
+	}
+	return recovered, nil
+}
+
+// Recoveries returns per-shard recovery replay counts (how many times
+// each shard's Recover ran), for asserting the per-shard recovery
+// invariant.
+func (f *frontend[IX]) Recoveries() []uint64 {
+	out := make([]uint64, len(f.shards))
+	for i := range f.shards {
+		out[i] = f.shards[i].recoveries
+	}
+	return out
+}
+
+// NumShards returns the partition count H.
+func (f *frontend[IX]) NumShards() int { return len(f.shards) }
+
+// Heap returns shard i's private heap, for arming injectors, reading
+// trackers, or inspecting one partition.
+func (f *frontend[IX]) Heap(i int) *pmem.Heap { return f.shards[i].heap }
+
+// Shard returns shard i's index, for direct per-partition access.
+func (f *frontend[IX]) Shard(i int) IX { return f.shards[i].idx }
+
+// ShardStats returns one counter snapshot per shard, in shard order.
+func (f *frontend[IX]) ShardStats() []pmem.Stats {
+	out := make([]pmem.Stats, len(f.shards))
+	for i := range f.shards {
+		out[i] = f.shards[i].heap.Stats()
+	}
+	return out
+}
+
+// Stats returns the aggregate of all per-shard counters. The aggregate
+// conserves exactly: it is the field-wise sum of ShardStats, and each
+// shard's counters are themselves exact striped aggregates.
+func (f *frontend[IX]) Stats() pmem.Stats { return sumStats(f.ShardStats()) }
+
+// Ordered is a sharded ordered index: core.OrderedIndex over H
+// partitions, each a private (heap, index) pair. Point operations route
+// through the Partitioner and touch exactly one shard; Scan merges the
+// per-shard ordered streams into one globally ordered stream. It is safe
+// for concurrent use to the same extent as the underlying index.
+type Ordered struct {
+	part Partitioner
+	frontend[core.OrderedIndex]
+}
+
+// NewOrdered builds the named converted index (as core.NewOrdered does)
+// on each of opts.Shards private heaps.
+func NewOrdered(name string, kind keys.Kind, opts Options) (*Ordered, error) {
+	return NewOrderedWith(func(h *pmem.Heap) (core.OrderedIndex, error) {
+		return core.NewOrdered(name, h, kind)
+	}, opts)
+}
+
+// NewOrderedWith is NewOrdered with an explicit per-shard index factory,
+// for callers that construct indexes outside the registry (e.g. the
+// Faithful baseline modes).
+func NewOrderedWith(factory func(*pmem.Heap) (core.OrderedIndex, error), opts Options) (*Ordered, error) {
+	part := opts.Partitioner
+	if part == nil {
+		part = HashPartition{}
+	}
+	f, err := newFrontend(factory, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Ordered{part: part, frontend: f}, nil
+}
+
+// route returns the shard owning key. With one shard no routing is
+// needed, so the H=1 front-end adds no hashing to the operation path.
+func (m *Ordered) route(key []byte) *shardOf[core.OrderedIndex] {
+	if len(m.shards) == 1 {
+		return &m.shards[0]
+	}
+	return &m.shards[m.part.Shard(key, len(m.shards))]
+}
+
+// Insert stores value under key in the owning shard.
+func (m *Ordered) Insert(key []byte, value uint64) error {
+	return m.route(key).idx.Insert(key, value)
+}
+
+// Lookup returns the value stored under key.
+func (m *Ordered) Lookup(key []byte) (uint64, bool) {
+	return m.route(key).idx.Lookup(key)
+}
+
+// Delete removes key from the owning shard.
+func (m *Ordered) Delete(key []byte) (bool, error) {
+	return m.route(key).idx.Delete(key)
+}
+
+// Scan visits keys >= start in ascending order across all shards until
+// fn returns false or count keys were visited (count <= 0 = unbounded);
+// it returns the number of keys visited. With one shard it delegates;
+// with several it collects each shard's ordered prefix (at most count
+// entries per shard — for unbounded scans, the shard's whole tail) and
+// merges, since a hash partitioner scatters adjacent keys across
+// shards. Unbounded multi-shard scans therefore buffer every remaining
+// entry up front; see ROADMAP for the streaming-merge follow-up.
+func (m *Ordered) Scan(start []byte, count int, fn func(key []byte, value uint64) bool) int {
+	if len(m.shards) == 1 {
+		return m.shards[0].idx.Scan(start, count, fn)
+	}
+	type entry struct {
+		key []byte
+		val uint64
+	}
+	var all []entry
+	for i := range m.shards {
+		m.shards[i].idx.Scan(start, count, func(k []byte, v uint64) bool {
+			// Indexes may reuse the callback key buffer; copy.
+			all = append(all, entry{append([]byte(nil), k...), v})
+			return true
+		})
+	}
+	sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].key, all[j].key) < 0 })
+	// Count as the single-index Scans do: a key on which fn returns
+	// false is not counted as visited.
+	visited := 0
+	for _, e := range all {
+		if !fn(e.key, e.val) {
+			break
+		}
+		visited++
+		if count > 0 && visited >= count {
+			break
+		}
+	}
+	return visited
+}
+
+// PartitionerName reports the routing policy in use.
+func (m *Ordered) PartitionerName() string { return m.part.Name() }
+
+// Hash is a sharded unordered index: core.HashIndex over H partitions.
+type Hash struct {
+	part Partitioner64
+	frontend[core.HashIndex]
+}
+
+// NewHash builds the named unordered index (as core.NewHash does) on
+// each of opts.Shards private heaps.
+func NewHash(name string, opts Options) (*Hash, error) {
+	return NewHashWith(func(h *pmem.Heap) (core.HashIndex, error) {
+		return core.NewHash(name, h)
+	}, opts)
+}
+
+// NewHashWith is NewHash with an explicit per-shard index factory.
+func NewHashWith(factory func(*pmem.Heap) (core.HashIndex, error), opts Options) (*Hash, error) {
+	part := opts.Partitioner64
+	if part == nil {
+		part = HashPartition64{}
+	}
+	f, err := newFrontend(factory, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Hash{part: part, frontend: f}, nil
+}
+
+func (m *Hash) route(key uint64) *shardOf[core.HashIndex] {
+	if len(m.shards) == 1 {
+		return &m.shards[0]
+	}
+	return &m.shards[m.part.Shard(key, len(m.shards))]
+}
+
+// Insert stores value under key in the owning shard.
+func (m *Hash) Insert(key, value uint64) error { return m.route(key).idx.Insert(key, value) }
+
+// Lookup returns the value stored under key.
+func (m *Hash) Lookup(key uint64) (uint64, bool) { return m.route(key).idx.Lookup(key) }
+
+// Delete removes key from the owning shard.
+func (m *Hash) Delete(key uint64) (bool, error) { return m.route(key).idx.Delete(key) }
+
+// PartitionerName reports the routing policy in use.
+func (m *Hash) PartitionerName() string { return m.part.Name() }
+
+// sumStats folds per-shard snapshots field-wise.
+func sumStats(per []pmem.Stats) pmem.Stats {
+	var s pmem.Stats
+	for _, p := range per {
+		s = s.Add(p)
+	}
+	return s
+}
