@@ -251,6 +251,63 @@ func BenchmarkShardScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkScanStreaming measures the streaming k-way merge scan
+// engine: range scans through the sharded front-end for both
+// partitioners at H ∈ {1, 8} shards, bounded (100-entry) and unbounded
+// lengths, over datasets that differ 10× in size. The headline metric
+// is B/op (ReportAllocs): the streaming merge buffers at most one batch
+// per shard, so scan allocation is O(shards × batch) and stays ~flat as
+// the dataset grows, where the old collect-then-sort merge buffered
+// every remaining entry — O(dataset) — for unbounded scans. FAST & FAIR
+// is the scanned index: its leaf sibling links make each batch resume
+// an O(log n) seek (§7.1), so the numbers isolate the merge engine
+// rather than trie re-walk costs.
+func BenchmarkScanStreaming(b *testing.B) {
+	for _, part := range []recipe.Partitioner{recipe.HashPartition{}, recipe.RangePartition{}} {
+		for _, shards := range []int{1, 8} {
+			for _, loadN := range []int{20_000, 200_000} {
+				for _, scanLen := range []int{100, 0} {
+					lenName := fmt.Sprint(scanLen)
+					if scanLen == 0 {
+						lenName = "full"
+					}
+					name := fmt.Sprintf("part=%s/shards=%d/load=%d/len=%s", part.Name(), shards, loadN, lenName)
+					b.Run(name, func(b *testing.B) {
+						m, err := recipe.NewShardedOrdered("FAST & FAIR", keys.RandInt,
+							recipe.ShardOptions{Shards: shards, Partitioner: part})
+						if err != nil {
+							b.Fatal(err)
+						}
+						gen := keys.NewGenerator(keys.RandInt)
+						buf := make([]byte, 0, 16)
+						for id := uint64(0); id < uint64(loadN); id++ {
+							buf = gen.AppendKey(buf[:0], id)
+							if err := m.Insert(buf, id); err != nil {
+								b.Fatal(err)
+							}
+						}
+						b.ReportAllocs()
+						b.ResetTimer()
+						visited := 0
+						for i := 0; i < b.N; i++ {
+							var start []byte
+							if scanLen > 0 {
+								// Roam the start key so bounded scans touch
+								// the whole key space.
+								buf = gen.AppendKey(buf[:0], uint64(i)%uint64(loadN))
+								start = buf
+							}
+							visited += m.Scan(start, scanLen, func([]byte, uint64) bool { return true })
+						}
+						b.StopTimer()
+						b.ReportMetric(float64(visited)/float64(b.N), "entries/op")
+					})
+				}
+			}
+		}
+	}
+}
+
 // BenchmarkSec73_WOART: P-ART vs globally locked WOART (§7.3).
 func BenchmarkSec73_WOART(b *testing.B) {
 	for _, name := range []string{"P-ART", "WOART"} {

@@ -4,6 +4,13 @@
 // cache line is written back and fenced by the time each operation
 // returns. The Faithful modes reproduce the §7.5 finding that FAST & FAIR
 // and CCEH fail to persist the initial node allocation.
+//
+// With -sites (the default) it also runs the per-crash-site durability
+// campaign: for every crash site the load passes through, crash there,
+// recover, and verify the recovery and repair write paths flush
+// everything they dirty. The per-site trials are independent Track-mode
+// heaps, so they fan out across -workers goroutines; the report is
+// collected in site order and is identical for any worker count.
 package main
 
 import (
@@ -20,6 +27,9 @@ import (
 
 func main() {
 	n := flag.Int("ops", 5000, "traced insert operations per index")
+	sites := flag.Bool("sites", true, "also run the per-crash-site durability campaign")
+	postOps := flag.Int("postops", 2000, "traced post-crash inserts per crash site")
+	workers := flag.Int("workers", 0, "worker goroutines for the per-site campaign (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	fmt.Printf("=== §5 durability test: %d traced inserts per index ===\n\n", *n)
@@ -55,6 +65,45 @@ func main() {
 		return ccehAdapter{cceh.NewWithMode(h, cceh.Faithful)}
 	}, *n)
 	fmt.Println(rep2.String())
+
+	if !*sites {
+		return
+	}
+	fmt.Printf("\n=== §5 durability across crash sites: crash, recover, %d traced post-crash inserts per site ===\n\n", *postOps)
+	for _, name := range []string{"P-ART", "P-HOT", "P-BwTree", "P-Masstree", "FAST & FAIR", "WOART"} {
+		name := name
+		rep := harness.DurabilitySitesOrdered(name, func(h *pmem.Heap) core.OrderedIndex {
+			idx, err := core.NewOrdered(name, h, keys.RandInt)
+			if err != nil {
+				panic(err)
+			}
+			return idx
+		}, keys.RandInt, *n, *postOps, *workers)
+		printSites(rep)
+	}
+	for _, name := range []string{"P-CLHT", "CCEH", "Level Hashing"} {
+		name := name
+		rep := harness.DurabilitySitesHash(name, func(h *pmem.Heap) core.HashIndex {
+			idx, err := core.NewHash(name, h)
+			if err != nil {
+				panic(err)
+			}
+			return idx
+		}, *n, *postOps, *workers)
+		printSites(rep)
+	}
+}
+
+// printSites prints the campaign summary, with per-site rows only for
+// sites that found something (the common all-PASS case stays one line).
+func printSites(rep harness.SiteCampaignReport) {
+	fmt.Println(rep.String())
+	for _, s := range rep.Sites {
+		if s.RecoveryFailed || s.RecoveryViolations != 0 || s.OpViolations != 0 {
+			fmt.Printf("    %-28s recoveryFail=%v recoveryViol=%d opViol=%d\n",
+				s.Site, s.RecoveryFailed, s.RecoveryViolations, s.OpViolations)
+		}
+	}
 }
 
 type ffAdapter struct{ t *fastfair.Tree }

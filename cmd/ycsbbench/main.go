@@ -45,6 +45,7 @@ type config struct {
 	heap                pmem.Options
 	shards              int
 	part                shard.Partitioner
+	scanBatch           int
 }
 
 func main() {
@@ -58,6 +59,7 @@ func main() {
 		fenceDelay = flag.Int("fencedelay", 20, "simulated cost per fence (busy-work units)")
 		shards     = flag.Int("shards", 1, "partitions in the sharded front-end (1 = one heap per cell)")
 		partition  = flag.String("partition", "hash", `key partitioner for ordered figures with -shards > 1: "hash" or "range" (hash figures always route by hash)`)
+		scanBatch  = flag.Int("scanbatch", 0, "per-shard batch size for streaming merged scans (0 = default)")
 	)
 	flag.Parse()
 	part, ok := shard.ByName(*partition)
@@ -72,7 +74,7 @@ func main() {
 	cfg := config{
 		loadN: *loadN, opN: *opN, threads: *threads, seed: *seed,
 		heap:   pmem.Options{DelayClwb: *clwbDelay, DelayFence: *fenceDelay},
-		shards: *shards, part: part,
+		shards: *shards, part: part, scanBatch: *scanBatch,
 	}
 
 	run := func(fig string) {
@@ -103,7 +105,7 @@ func main() {
 // front-end and verifies aggregate-vs-per-shard counter conservation.
 func orderedCell(name string, kind keys.Kind, w ycsb.Workload, cfg config) harness.Result {
 	m, err := shard.NewOrdered(name, kind, shard.Options{
-		Shards: cfg.shards, Partitioner: cfg.part, Heap: cfg.heap,
+		Shards: cfg.shards, Partitioner: cfg.part, Heap: cfg.heap, ScanBatch: cfg.scanBatch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -118,6 +120,7 @@ func orderedCell(name string, kind keys.Kind, w ycsb.Workload, cfg config) harne
 		os.Exit(1)
 	}
 	checkConservation(name, w.Name, m.Stats().Sub(aggBefore), m.ShardStats(), before)
+	m.Release()
 	return res
 }
 
@@ -137,6 +140,7 @@ func hashCell(name string, w ycsb.Workload, cfg config) harness.Result {
 		os.Exit(1)
 	}
 	checkConservation(name, w.Name, m.Stats().Sub(aggBefore), m.ShardStats(), before)
+	m.Release()
 	return res
 }
 

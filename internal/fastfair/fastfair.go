@@ -183,6 +183,17 @@ func (t *Tree) keyBytes(stored uint64) []byte {
 	return t.krecOf(stored).b
 }
 
+// appendKeyBytes is keyBytes with a caller-owned scratch buffer for the
+// randint encoding, so loops that emit many keys (Scan) do not allocate
+// one 8-byte slice per key. String keys return the interned record
+// bytes directly, as keyBytes does.
+func (t *Tree) appendKeyBytes(dst []byte, stored uint64) []byte {
+	if t.kind == keys.RandInt {
+		return keys.AppendUint64(dst, stored)
+	}
+	return t.krecOf(stored).b
+}
+
 // encode converts a probe key to its stored representation, interning
 // string keys.
 func (t *Tree) encode(k []byte) uint64 {

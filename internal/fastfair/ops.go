@@ -488,6 +488,7 @@ func (t *Tree) Scan(start []byte, count int, fn func(key []byte, value uint64) b
 		}
 	}
 	visited := 0
+	kbuf := make([]byte, 0, 8) // reused per emitted randint key; fn must not retain
 	for n != nil {
 		t.heap.Load(n.pm, 0, nodeBytes)
 		cnt := n.countRecords()
@@ -500,7 +501,7 @@ func (t *Tree) Scan(start []byte, count int, fn func(key []byte, value uint64) b
 				continue
 			}
 			k := n.keys[i].Load()
-			kb := t.keyBytes(k)
+			kb := t.appendKeyBytes(kbuf[:0], k)
 			if bytes.Compare(kb, start) < 0 {
 				continue
 			}

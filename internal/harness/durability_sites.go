@@ -1,0 +1,239 @@
+// Per-crash-site durability campaigns: the §5 durability test composed
+// with the §5 crash methodology. The plain durability test
+// (DurabilityOrdered) checks flush coverage of the clean write path;
+// the campaigns here check the path the paper's argument actually leans
+// on — that after a crash at any atomic-store boundary, recovery plus
+// the lazy write-path repairs leave every dirtied line flushed and
+// fenced at each operation boundary. One trial per crash site, each
+// with its own Track-mode heap, so the sweep is embarrassingly parallel
+// across a worker pool; results are collected in site order, making the
+// report deterministic for any worker count.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/crash"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+)
+
+// SiteReport is one crash site's row in a per-site durability campaign.
+type SiteReport struct {
+	// Site is the crash-site name (e.g. "art.split.installed").
+	Site string
+	// Fired reports whether the load reached the site and crashed there.
+	// A deterministic single-threaded load revisits the sites the
+	// discovery pass saw, so this is false only for sites that need a
+	// different interleaving to re-arise.
+	Fired bool
+	// RecoveryFailed reports that Recover itself returned an error (the
+	// CCEH Faithful-mode stall class).
+	RecoveryFailed bool
+	// RecoveryViolations counts lines Recover left dirty or unfenced.
+	RecoveryViolations int
+	// OpViolations counts lines left dirty or unfenced at post-crash
+	// operation boundaries — flush coverage of the repair paths.
+	OpViolations int
+}
+
+// SiteCampaignReport summarises a per-site durability campaign.
+type SiteCampaignReport struct {
+	Index string
+	// Sites holds one row per discovered crash site, sorted by site
+	// name — deterministic regardless of the worker count.
+	Sites []SiteReport
+	// PostOps is the number of traced post-crash inserts per site.
+	PostOps int
+}
+
+// Fired counts sites whose trial actually crashed.
+func (r SiteCampaignReport) Fired() int {
+	n := 0
+	for _, s := range r.Sites {
+		if s.Fired {
+			n++
+		}
+	}
+	return n
+}
+
+// Pass reports whether every site recovered cleanly with full flush
+// coverage.
+func (r SiteCampaignReport) Pass() bool {
+	for _, s := range r.Sites {
+		if s.RecoveryFailed || s.RecoveryViolations != 0 || s.OpViolations != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (r SiteCampaignReport) String() string {
+	recov, ops, failed := 0, 0, 0
+	for _, s := range r.Sites {
+		recov += s.RecoveryViolations
+		ops += s.OpViolations
+		if s.RecoveryFailed {
+			failed++
+		}
+	}
+	verdict := "PASS"
+	if !r.Pass() {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%-12s sites=%d fired=%d recoveryFail=%d recoveryViol=%d opViol=%d  %s",
+		r.Index, len(r.Sites), r.Fired(), failed, recov, ops, verdict)
+}
+
+// siteTrial binds one index instance on one heap: an id-keyed insert
+// and the index's recovery entry point.
+type siteTrial struct {
+	insert    func(id uint64) error
+	recoverFn func() error
+}
+
+// DurabilitySitesOrdered runs the per-site durability campaign for an
+// ordered index: discover every crash site a loadN-insert load passes
+// through, then — one trial per site, fanned out over `workers`
+// goroutines (< 1 selects GOMAXPROCS) — crash at that site, recover,
+// and verify that recovery and postN further traced inserts leave every
+// dirtied line flushed and fenced at each operation boundary.
+func DurabilitySitesOrdered(name string, factory func(*pmem.Heap) core.OrderedIndex, kind keys.Kind, loadN, postN, workers int) SiteCampaignReport {
+	return durabilitySites(name, loadN, postN, workers, func(heap *pmem.Heap) siteTrial {
+		idx := factory(heap)
+		gen := keys.NewGenerator(kind)
+		return siteTrial{
+			insert:    func(id uint64) error { return idx.Insert(gen.Key(id), id) },
+			recoverFn: idx.Recover,
+		}
+	})
+}
+
+// DurabilitySitesHash is DurabilitySitesOrdered for unordered indexes.
+func DurabilitySitesHash(name string, factory func(*pmem.Heap) core.HashIndex, loadN, postN, workers int) SiteCampaignReport {
+	return durabilitySites(name, loadN, postN, workers, func(heap *pmem.Heap) siteTrial {
+		idx := factory(heap)
+		gen := keys.NewGenerator(keys.RandInt)
+		return siteTrial{
+			insert:    func(id uint64) error { return idx.Insert(gen.Uint64(id)|1, id) },
+			recoverFn: idx.Recover,
+		}
+	})
+}
+
+func durabilitySites(name string, loadN, postN, workers int, build func(*pmem.Heap) siteTrial) SiteCampaignReport {
+	sites := discoverSites(loadN, build)
+	rep := SiteCampaignReport{Index: name, PostOps: postN, Sites: make([]SiteReport, len(sites))}
+	forEachSite(len(sites), workers, func(i int) {
+		rep.Sites[i] = durabilityAtSite(sites[i], loadN, postN, build)
+	})
+	return rep
+}
+
+// discoverSites runs one untracked load with a never-firing injector
+// (probability zero, which still records site visits) and returns every
+// crash site it passed through, sorted by name.
+func discoverSites(loadN int, build func(*pmem.Heap) siteTrial) []string {
+	inj := crash.NewProbabilistic(0, 1)
+	heap := pmem.New(pmem.Options{Injector: inj})
+	trial := build(heap)
+	for i := 0; i < loadN; i++ {
+		if err := trial.insert(uint64(i)); err != nil {
+			break
+		}
+	}
+	m := inj.Sites()
+	sites := make([]string, 0, len(m))
+	for s := range m {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	heap.Release()
+	return sites
+}
+
+// forEachSite fans body out over a pool of workers (< 1 selects
+// GOMAXPROCS). Each body(i) writes only its own result slot, so the
+// collected output is in site order no matter which worker ran it.
+func forEachSite(n, workers int, body func(i int)) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// durabilityAtSite is one trial: load with a crash armed at the site's
+// first visit on a Track-mode heap, then apply power-cycle semantics
+// (unflushed shadow state is lost), recover, and trace postN more
+// inserts checking flush coverage at every boundary.
+func durabilityAtSite(site string, loadN, postN int, build func(*pmem.Heap) siteTrial) SiteReport {
+	r := SiteReport{Site: site}
+	heap := pmem.New(pmem.Options{Track: true})
+	defer heap.Release()
+	trial := build(heap)
+	heap.SetInjector(crash.NewAtSite(site, 1))
+	for i := 0; i < loadN && !r.Fired; i++ {
+		if err := trial.insert(uint64(i)); crash.IsCrash(err) {
+			r.Fired = true
+		}
+	}
+	heap.SetInjector(nil)
+	if !r.Fired {
+		return r
+	}
+	// Power-cycle: whatever the interrupted operation had not flushed is
+	// gone; the shadow tracker restarts clean, and from here on every
+	// boundary must be durable again.
+	heap.Tracker().Reset()
+	if err := trial.recoverFn(); err != nil {
+		r.RecoveryFailed = true
+		return r
+	}
+	if v := heap.Tracker().Check(); len(v) != 0 {
+		r.RecoveryViolations = len(v)
+		heap.Tracker().Reset()
+	}
+	for i := 0; i < postN; i++ {
+		// Fresh ids continue the interrupted load, driving writers across
+		// (and through) whatever torn state the crash left behind.
+		if err := trial.insert(uint64(1_000_000 + i)); err != nil {
+			r.OpViolations++
+			continue
+		}
+		if v := heap.Tracker().Check(); len(v) != 0 {
+			r.OpViolations += len(v)
+			heap.Tracker().Reset()
+		}
+	}
+	return r
+}

@@ -253,6 +253,7 @@ func CrashCampaignOrdered(name string, factory func(*pmem.Heap) core.OrderedInde
 		heap.SetInjector(nil)
 		if err := idx.Recover(); err != nil {
 			rep.RecoveryFailures++
+			heap.Release()
 			continue
 		}
 		// Mixed phase: concurrent inserts and reads.
@@ -288,6 +289,8 @@ func CrashCampaignOrdered(name string, factory func(*pmem.Heap) core.OrderedInde
 				rep.LostKeys++
 			}
 		}
+		// The state's heap and index are dead; recycle the address space.
+		heap.Release()
 	}
 	return rep
 }
@@ -318,6 +321,7 @@ func CrashCampaignHash(name string, factory func(*pmem.Heap) core.HashIndex, sta
 		heap.SetInjector(nil)
 		if err := idx.Recover(); err != nil {
 			rep.RecoveryFailures++
+			heap.Release()
 			continue
 		}
 		var wg sync.WaitGroup
@@ -352,6 +356,7 @@ func CrashCampaignHash(name string, factory func(*pmem.Heap) core.HashIndex, sta
 				rep.LostKeys++
 			}
 		}
+		heap.Release()
 	}
 	return rep
 }
@@ -425,6 +430,7 @@ func CrashCampaignSharded(name string, kind keys.Kind, shards, states, loadN, mi
 		}
 		if _, err := m.RecoverCrashed(); err != nil {
 			rep.RecoveryFailures++
+			m.Release()
 			continue
 		}
 		// Per-shard replay counts catch any replay path; only the armed
@@ -467,6 +473,7 @@ func CrashCampaignSharded(name string, kind keys.Kind, shards, states, loadN, mi
 				rep.LostKeys++
 			}
 		}
+		m.Release()
 	}
 	return rep
 }
@@ -515,6 +522,7 @@ func DurabilityOrdered(name string, factory func(*pmem.Heap) core.OrderedIndex, 
 			heap.Tracker().Reset()
 		}
 	}
+	heap.Release()
 	return rep
 }
 
@@ -536,5 +544,6 @@ func DurabilityHash(name string, factory func(*pmem.Heap) core.HashIndex, n int)
 			heap.Tracker().Reset()
 		}
 	}
+	heap.Release()
 	return rep
 }

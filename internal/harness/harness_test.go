@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -196,5 +197,69 @@ func TestCrashCampaignShardedPasses(t *testing.T) {
 	}
 	if !strings.Contains(rep.String(), "shards=4") {
 		t.Fatalf("report missing shard count: %s", rep)
+	}
+}
+
+// TestDurabilitySitesOrderedPasses: the per-site durability campaign
+// finds sites, fires at every one (the load is deterministic), and the
+// converted index recovers with full flush coverage at each.
+func TestDurabilitySitesOrderedPasses(t *testing.T) {
+	rep := DurabilitySitesOrdered("P-ART", func(h *pmem.Heap) core.OrderedIndex {
+		idx, err := core.NewOrdered("P-ART", h, keys.RandInt)
+		if err != nil {
+			panic(err) // runs on a worker goroutine; t.Fatal is not allowed here
+		}
+		return idx
+	}, keys.RandInt, 1200, 200, 4)
+	if len(rep.Sites) == 0 {
+		t.Fatal("no crash sites discovered")
+	}
+	if rep.Fired() != len(rep.Sites) {
+		t.Fatalf("fired at %d of %d sites; the deterministic load must revisit every discovered site",
+			rep.Fired(), len(rep.Sites))
+	}
+	if !rep.Pass() {
+		t.Fatalf("campaign failed: %s", rep.String())
+	}
+	for i := 1; i < len(rep.Sites); i++ {
+		if rep.Sites[i-1].Site >= rep.Sites[i].Site {
+			t.Fatalf("sites out of order: %q before %q", rep.Sites[i-1].Site, rep.Sites[i].Site)
+		}
+	}
+}
+
+// TestDurabilitySitesHashPasses is the unordered-index variant.
+func TestDurabilitySitesHashPasses(t *testing.T) {
+	rep := DurabilitySitesHash("P-CLHT", func(h *pmem.Heap) core.HashIndex {
+		idx, err := core.NewHash("P-CLHT", h)
+		if err != nil {
+			panic(err) // runs on a worker goroutine; t.Fatal is not allowed here
+		}
+		return idx
+	}, 1200, 200, 4)
+	if len(rep.Sites) == 0 {
+		t.Fatal("no crash sites discovered")
+	}
+	if !rep.Pass() {
+		t.Fatalf("campaign failed: %s", rep.String())
+	}
+}
+
+// TestDurabilitySitesDeterministicAcrossWorkers: the report must be
+// byte-identical for any worker count — per-site trials are independent
+// and results are collected in site order.
+func TestDurabilitySitesDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) SiteCampaignReport {
+		return DurabilitySitesOrdered("P-Masstree", func(h *pmem.Heap) core.OrderedIndex {
+			idx, err := core.NewOrdered("P-Masstree", h, keys.RandInt)
+			if err != nil {
+				panic(err) // runs on a worker goroutine; t.Fatal is not allowed here
+			}
+			return idx
+		}, keys.RandInt, 800, 100, workers)
+	}
+	serial, parallel := run(1), run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("reports differ across worker counts:\nserial:   %+v\nparallel: %+v", serial, parallel)
 	}
 }

@@ -123,7 +123,7 @@ func New(opts Options) *Heap {
 	if h.shared {
 		h.sNextLine.Store(1)
 	} else {
-		h.lines = stripe.NewAllocator(1, stripe.DefaultChunkLines)
+		h.lines = newLineAllocator()
 		h.clwb = stripe.NewCounter()
 		h.fence = stripe.NewCounter()
 		h.allocs = stripe.NewCounter()
@@ -133,6 +133,52 @@ func New(opts Options) *Heap {
 		h.tracker = newTracker()
 	}
 	return h
+}
+
+// allocPool recycles line allocators across heap generations. Campaigns
+// that churn thousands of short-lived heaps (one per crash state or
+// crash site) would otherwise build a fresh allocator each time and
+// abandon its reserved address space; recycling caps the process's
+// simulated address-space footprint at the peak number of live heaps.
+var allocPool struct {
+	mu   sync.Mutex
+	free []*stripe.Allocator
+}
+
+// maxPooledAllocators bounds the pool; releases beyond it fall through
+// to the garbage collector, exactly as every heap did before pooling.
+const maxPooledAllocators = 64
+
+func newLineAllocator() *stripe.Allocator {
+	allocPool.mu.Lock()
+	if n := len(allocPool.free); n > 0 {
+		a := allocPool.free[n-1]
+		allocPool.free = allocPool.free[:n-1]
+		allocPool.mu.Unlock()
+		return a
+	}
+	allocPool.mu.Unlock()
+	return stripe.NewAllocator(1, stripe.DefaultChunkLines)
+}
+
+// Release retires the heap and recycles its line allocator — and with
+// it the heap's whole simulated address space — into the process-wide
+// pool that New draws from. The caller must have dropped every index
+// built on the heap: after Release the heap (and any Obj it handed out)
+// must not be used, and further Alloc calls panic. Releasing a
+// shared-atomics ablation heap or releasing twice is a no-op.
+func (h *Heap) Release() {
+	if h.shared || h.lines == nil {
+		return
+	}
+	a := h.lines
+	h.lines = nil
+	a.Reset()
+	allocPool.mu.Lock()
+	if len(allocPool.free) < maxPooledAllocators {
+		allocPool.free = append(allocPool.free, a)
+	}
+	allocPool.mu.Unlock()
 }
 
 // NewFast returns a heap with counters only — the configuration used by

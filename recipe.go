@@ -161,6 +161,24 @@ type HashPartition = shard.HashPartition
 // RangePartition is the order-preserving partitioner.
 type RangePartition = shard.RangePartition
 
+// Cursor is a pull-style streaming scan iterator: Next returns entries
+// in ascending key order, holding at most one batch of entries per
+// shard, so servers can paginate arbitrarily long scans in O(shards ×
+// batch) memory without callback gymnastics. Obtain one from
+// (*ShardedOrdered).Cursor or NewCursor.
+type Cursor = shard.Cursor
+
+// DefaultScanBatch is the per-shard batch size streaming scans use when
+// ShardOptions.ScanBatch (or NewCursor's batch) is unset.
+const DefaultScanBatch = shard.DefaultScanBatch
+
+// NewCursor returns a streaming cursor over a single ordered index,
+// starting at start (nil = the minimum key). batch < 1 selects
+// DefaultScanBatch.
+func NewCursor(idx OrderedIndex, start []byte, batch int) *Cursor {
+	return shard.NewCursor(idx, start, batch)
+}
+
 // NewShardedOrdered builds the named ordered index on each of
 // opts.Shards private heaps behind one front-end.
 func NewShardedOrdered(name string, kind KeyKind, opts ShardOptions) (*ShardedOrdered, error) {
@@ -210,6 +228,27 @@ func DurabilityOrdered(name string, factory func(*Heap) OrderedIndex, kind KeyKi
 // DurabilityHash is DurabilityOrdered for unordered indexes.
 func DurabilityHash(name string, factory func(*Heap) HashIndex, n int) DurabilityReport {
 	return harness.DurabilityHash(name, factory, n)
+}
+
+// SiteCampaignReport summarises a per-crash-site durability campaign:
+// one row per crash site, in deterministic site order.
+type SiteCampaignReport = harness.SiteCampaignReport
+
+// SiteReport is one crash site's row in a SiteCampaignReport.
+type SiteReport = harness.SiteReport
+
+// DurabilitySitesOrdered crashes an ordered index once at every crash
+// site its load passes through and verifies that recovery plus postN
+// traced post-crash inserts leave every dirtied line flushed and fenced
+// at each operation boundary. Trials are independent heaps and fan out
+// over `workers` goroutines (< 1 = GOMAXPROCS).
+func DurabilitySitesOrdered(name string, factory func(*Heap) OrderedIndex, kind KeyKind, loadN, postN, workers int) SiteCampaignReport {
+	return harness.DurabilitySitesOrdered(name, factory, kind, loadN, postN, workers)
+}
+
+// DurabilitySitesHash is DurabilitySitesOrdered for unordered indexes.
+func DurabilitySitesHash(name string, factory func(*Heap) HashIndex, loadN, postN, workers int) SiteCampaignReport {
+	return harness.DurabilitySitesHash(name, factory, loadN, postN, workers)
 }
 
 // ErrCrashed is returned by operations interrupted by a simulated crash.

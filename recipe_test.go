@@ -189,3 +189,72 @@ func TestWorkloadByName(t *testing.T) {
 		t.Fatal("expected 5 workloads")
 	}
 }
+
+// TestStreamingScanPublicAPI pins the exported streaming scan surface:
+// ShardOptions.ScanBatch, the sharded Cursor, NewCursor over a bare
+// index, and the per-site durability campaign re-exports.
+func TestStreamingScanPublicAPI(t *testing.T) {
+	m, err := recipe.NewShardedOrdered("P-ART", recipe.RandInt,
+		recipe.ShardOptions{Shards: 4, ScanBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := recipe.NewKeyGenerator(recipe.RandInt)
+	for id := uint64(0); id < 500; id++ {
+		if err := m.Insert(gen.Key(id), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want []uint64
+	m.Scan(nil, 0, func(_ []byte, v uint64) bool {
+		want = append(want, v)
+		return true
+	})
+	if len(want) != 500 {
+		t.Fatalf("scan visited %d, want 500", len(want))
+	}
+	cur := m.Cursor(nil)
+	for i := 0; ; i++ {
+		_, v, ok := cur.Next()
+		if !ok {
+			if i != len(want) {
+				t.Fatalf("cursor ended at %d, want %d", i, len(want))
+			}
+			break
+		}
+		if v != want[i] {
+			t.Fatalf("cursor entry %d = %d, want %d", i, v, want[i])
+		}
+	}
+
+	heap := recipe.NewHeap()
+	idx, err := recipe.NewOrdered("FAST & FAIR", heap, recipe.RandInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < 100; id++ {
+		if err := idx.Insert(gen.Key(id), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	for c := recipe.NewCursor(idx, nil, recipe.DefaultScanBatch); ; n++ {
+		if _, _, ok := c.Next(); !ok {
+			break
+		}
+	}
+	if n != 100 {
+		t.Fatalf("NewCursor yielded %d entries, want 100", n)
+	}
+
+	rep := recipe.DurabilitySitesOrdered("P-ART", func(h *recipe.Heap) recipe.OrderedIndex {
+		ix, err := recipe.NewOrdered("P-ART", h, recipe.RandInt)
+		if err != nil {
+			panic(err) // runs on a worker goroutine; t.Fatal is not allowed here
+		}
+		return ix
+	}, recipe.RandInt, 600, 50, 2)
+	if len(rep.Sites) == 0 || !rep.Pass() {
+		t.Fatalf("per-site campaign: %s", rep.String())
+	}
+}

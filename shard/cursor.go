@@ -1,0 +1,245 @@
+package shard
+
+import (
+	"bytes"
+
+	"repro/internal/core"
+)
+
+// DefaultScanBatch is the per-shard batch size B used by streaming
+// merged scans and cursors when Options.ScanBatch is unset. A batch is
+// one Scan call against the underlying index, so B trades per-entry
+// resume overhead against the O(shards × B) peak scan memory.
+const DefaultScanBatch = 256
+
+// shardCursor is a resumable iterator over one ordered index, built
+// entirely on the index's public Scan(start, count, fn) contract: it
+// pulls up to `batch` entries at a time and resumes the next batch at
+// the exclusive successor of the last key seen (lastKey + 0x00, the
+// smallest byte string strictly greater than lastKey), so no index
+// package needs an API change to support streaming.
+//
+// Keys are copied once into a per-cursor arena that is reused across
+// batches — one bulk buffer per batch instead of one allocation per
+// entry, and after the first batch no allocation at all in steady state.
+// Keys returned by head are valid until the batch is refilled, i.e.
+// until advance moves past the batch's last entry.
+type shardCursor struct {
+	idx   core.OrderedIndex
+	batch int
+	arena []byte   // backing bytes for the current batch's keys
+	ends  []int    // ends[i] is the end offset of key i in arena
+	vals  []uint64 // vals[i] is key i's value
+	pos   int      // next entry to hand out
+	// more records that the last fill hit the batch limit, so the index
+	// may hold further keys beyond resume.
+	more bool
+	// resume is the start key of the next batch: the exclusive successor
+	// of the last key of the current batch.
+	resume []byte
+}
+
+// newShardCursor opens a cursor over idx at start and fetches the first
+// batch. batch values < 1 select DefaultScanBatch.
+func newShardCursor(idx core.OrderedIndex, start []byte, batch int) *shardCursor {
+	if batch < 1 {
+		batch = DefaultScanBatch
+	}
+	c := &shardCursor{idx: idx, batch: batch, resume: append([]byte(nil), start...)}
+	c.fill()
+	return c
+}
+
+// fill fetches the next batch from the index. The callback key buffer
+// belongs to the index and may be reused between entries, so each key is
+// copied into the arena; the arena itself is reused across batches.
+func (c *shardCursor) fill() {
+	c.arena, c.ends, c.vals, c.pos = c.arena[:0], c.ends[:0], c.vals[:0], 0
+	n := c.idx.Scan(c.resume, c.batch, func(k []byte, v uint64) bool {
+		c.arena = append(c.arena, k...)
+		c.ends = append(c.ends, len(c.arena))
+		c.vals = append(c.vals, v)
+		return true
+	})
+	c.more = n == c.batch
+	if c.more {
+		// Appending a zero byte yields the smallest key strictly greater
+		// than the last one — exclusive resume that cannot skip a key
+		// whose prefix is the last key (e.g. "ab" -> "ab\x00").
+		last := c.key(n - 1)
+		c.resume = append(c.resume[:0], last...)
+		c.resume = append(c.resume, 0)
+	}
+}
+
+// key returns entry i's key, sliced out of the arena with its capacity
+// clipped so callers cannot append into a neighbour.
+func (c *shardCursor) key(i int) []byte {
+	lo := 0
+	if i > 0 {
+		lo = c.ends[i-1]
+	}
+	return c.arena[lo:c.ends[i]:c.ends[i]]
+}
+
+// valid reports whether the cursor currently holds an entry.
+func (c *shardCursor) valid() bool { return c.pos < len(c.ends) }
+
+// head returns the current entry. Only legal while valid.
+func (c *shardCursor) head() ([]byte, uint64) { return c.key(c.pos), c.vals[c.pos] }
+
+// advance moves to the next entry, refilling at batch boundaries.
+func (c *shardCursor) advance() {
+	c.pos++
+	if c.pos >= len(c.ends) && c.more {
+		c.fill()
+	}
+}
+
+// cursorHeap is a binary min-heap of shard cursors ordered by head key.
+// Every cursor in the heap is valid; keys route to exactly one shard, so
+// no two heads are ever equal and tie-breaking is moot.
+type cursorHeap []*shardCursor
+
+func (h cursorHeap) less(i, j int) bool {
+	ki, _ := h[i].head()
+	kj, _ := h[j].head()
+	return bytes.Compare(ki, kj) < 0
+}
+
+func (h cursorHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h cursorHeap) siftDown(i int) {
+	for {
+		m := i
+		if l := 2*i + 1; l < len(h) && h.less(l, m) {
+			m = l
+		}
+		if r := 2*i + 2; r < len(h) && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// Cursor is a pull-style iterator over the globally ordered key space of
+// a sharded front-end (Ordered.Cursor) or a single ordered index
+// (NewCursor): Next returns entries in ascending key order without
+// callback gymnastics, so servers can paginate a scan across requests.
+//
+// A Cursor holds at most one batch of entries per shard, so its memory
+// is O(shards × batch) no matter how long the scan runs or how large the
+// dataset is. With an order-preserving partitioner (RangePartition) it
+// drains shards one after another and holds a single batch.
+//
+// The key returned by Next is valid only until the next Next call; copy
+// it to retain it. A Cursor is not safe for concurrent use, and it sees
+// concurrent writers with the same batch-level consistency the
+// underlying index Scans provide.
+type Cursor struct {
+	merged bool
+	heap   cursorHeap // merge mode: valid cursors ordered by head key
+
+	rest  []core.OrderedIndex // sequential mode: shards not yet opened
+	cur   *shardCursor        // sequential mode: shard being drained
+	start []byte
+	batch int
+
+	// pending is the cursor whose head the last Next returned; its
+	// advance is deferred to the next call so the returned key stays
+	// valid in the caller's hands across the batch boundary refill.
+	pending *shardCursor
+}
+
+// NewCursor returns a streaming cursor over a single ordered index,
+// starting at start (nil or empty = from the minimum key). batch values
+// < 1 select DefaultScanBatch.
+func NewCursor(idx core.OrderedIndex, start []byte, batch int) *Cursor {
+	if batch < 1 {
+		batch = DefaultScanBatch
+	}
+	return &Cursor{
+		rest:  []core.OrderedIndex{idx},
+		start: append([]byte(nil), start...),
+		batch: batch,
+	}
+}
+
+// Cursor returns a streaming cursor over the merged key space of all
+// shards, starting at start (nil or empty = from the minimum key). The
+// per-shard batch size is Options.ScanBatch.
+func (m *Ordered) Cursor(start []byte) *Cursor {
+	if len(m.shards) == 1 || orderPreserving(m.part) {
+		first := 0
+		if len(m.shards) > 1 && len(start) > 0 {
+			// Shard order equals key order, so shards before start's
+			// owner hold only smaller keys.
+			first = m.part.Shard(start, len(m.shards))
+		}
+		rest := make([]core.OrderedIndex, 0, len(m.shards)-first)
+		for i := first; i < len(m.shards); i++ {
+			rest = append(rest, m.shards[i].idx)
+		}
+		return &Cursor{rest: rest, start: append([]byte(nil), start...), batch: m.batch}
+	}
+	return m.mergeCursor(start, m.batch)
+}
+
+// mergeCursor opens one cursor per shard and heapifies them by head key.
+func (m *Ordered) mergeCursor(start []byte, batch int) *Cursor {
+	h := make(cursorHeap, 0, len(m.shards))
+	for i := range m.shards {
+		if c := newShardCursor(m.shards[i].idx, start, batch); c.valid() {
+			h = append(h, c)
+		}
+	}
+	h.init()
+	return &Cursor{merged: true, heap: h}
+}
+
+// Next returns the next entry in ascending key order, or ok = false when
+// the scan is exhausted. The returned key is valid until the next call.
+func (c *Cursor) Next() (key []byte, value uint64, ok bool) {
+	if p := c.pending; p != nil {
+		c.pending = nil
+		p.advance()
+		if c.merged {
+			if p.valid() {
+				c.heap.siftDown(0)
+			} else {
+				c.heap[0] = c.heap[len(c.heap)-1]
+				c.heap = c.heap[:len(c.heap)-1]
+				c.heap.siftDown(0)
+			}
+		}
+	}
+	if c.merged {
+		if len(c.heap) == 0 {
+			return nil, 0, false
+		}
+		k, v := c.heap[0].head()
+		c.pending = c.heap[0]
+		return k, v, true
+	}
+	for {
+		if c.cur == nil || !c.cur.valid() {
+			if len(c.rest) == 0 {
+				return nil, 0, false
+			}
+			c.cur = newShardCursor(c.rest[0], c.start, c.batch)
+			c.rest = c.rest[1:]
+			continue
+		}
+		k, v := c.cur.head()
+		c.pending = c.cur
+		return k, v, true
+	}
+}

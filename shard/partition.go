@@ -71,6 +71,25 @@ func (RangePartition) Shard(key []byte, shards int) int {
 // Name implements Partitioner.
 func (RangePartition) Name() string { return "range" }
 
+// OrderPreserving implements OrderPreserver: byte-string order implies
+// 8-byte-prefix order, so shard indices never decrease along a scan.
+func (RangePartition) OrderPreserving() bool { return true }
+
+// OrderPreserver is implemented by partitioners that guarantee shard
+// order equals key order: key a <= key b implies Shard(a) <= Shard(b)
+// for every shard count. Scans over such partitioners skip the k-way
+// merge entirely and stream shard by shard with no buffering.
+type OrderPreserver interface {
+	OrderPreserving() bool
+}
+
+// orderPreserving reports whether p declares the order-preserving
+// guarantee.
+func orderPreserving(p Partitioner) bool {
+	op, ok := p.(OrderPreserver)
+	return ok && op.OrderPreserving()
+}
+
 // Partitioner64 is Partitioner for the unordered indexes, which key on
 // non-zero uint64 values directly.
 type Partitioner64 interface {

@@ -23,9 +23,7 @@
 package shard
 
 import (
-	"bytes"
 	"fmt"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/keys"
@@ -42,6 +40,11 @@ type Options struct {
 	// Partitioner64 routes uint64 keys (Hash). Nil selects
 	// HashPartition64.
 	Partitioner64 Partitioner64
+	// ScanBatch is the per-shard batch size B for streaming merged scans
+	// and cursors: a scan holds at most B buffered entries per shard, so
+	// peak scan memory is O(Shards × ScanBatch) regardless of scan
+	// length or dataset size. Values < 1 select DefaultScanBatch.
+	ScanBatch int
 	// Heap configures every per-shard heap (latency model, tracking,
 	// LLC, shared-atomics ablation). Injectors are not shared: arm a
 	// single shard via Heap(i).SetInjector.
@@ -53,6 +56,13 @@ func (o Options) shards() int {
 		return 1
 	}
 	return o.Shards
+}
+
+func (o Options) scanBatch() int {
+	if o.ScanBatch < 1 {
+		return DefaultScanBatch
+	}
+	return o.ScanBatch
 }
 
 // index is what the shared front-end machinery needs from a per-shard
@@ -152,6 +162,17 @@ func (f *frontend[IX]) Recoveries() []uint64 {
 	return out
 }
 
+// Release returns every shard heap's simulated address space to the
+// process-wide allocator pool (pmem.Heap.Release). Campaigns that churn
+// many front-ends call it between trials so address space stops
+// growing. Neither the front-end nor any of its shard indexes may be
+// used afterwards.
+func (f *frontend[IX]) Release() {
+	for i := range f.shards {
+		f.shards[i].heap.Release()
+	}
+}
+
 // NumShards returns the partition count H.
 func (f *frontend[IX]) NumShards() int { return len(f.shards) }
 
@@ -182,7 +203,8 @@ func (f *frontend[IX]) Stats() pmem.Stats { return sumStats(f.ShardStats()) }
 // per-shard ordered streams into one globally ordered stream. It is safe
 // for concurrent use to the same extent as the underlying index.
 type Ordered struct {
-	part Partitioner
+	part  Partitioner
+	batch int // per-shard streaming scan batch size (Options.ScanBatch)
 	frontend[core.OrderedIndex]
 }
 
@@ -206,7 +228,7 @@ func NewOrderedWith(factory func(*pmem.Heap) (core.OrderedIndex, error), opts Op
 	if err != nil {
 		return nil, err
 	}
-	return &Ordered{part: part, frontend: f}, nil
+	return &Ordered{part: part, batch: opts.scanBatch(), frontend: f}, nil
 }
 
 // route returns the shard owning key. With one shard no routing is
@@ -235,34 +257,70 @@ func (m *Ordered) Delete(key []byte) (bool, error) {
 
 // Scan visits keys >= start in ascending order across all shards until
 // fn returns false or count keys were visited (count <= 0 = unbounded);
-// it returns the number of keys visited. With one shard it delegates;
-// with several it collects each shard's ordered prefix (at most count
-// entries per shard — for unbounded scans, the shard's whole tail) and
-// merges, since a hash partitioner scatters adjacent keys across
-// shards. Unbounded multi-shard scans therefore buffer every remaining
-// entry up front; see ROADMAP for the streaming-merge follow-up.
+// it returns the number of keys visited, where a key on which fn
+// returned false is not counted — the single-index Scan contract.
+//
+// With one shard it delegates. With an order-preserving partitioner
+// (RangePartition) shard order equals key order, so shards stream one
+// after another straight into fn: no merge state, no buffering, no key
+// copies. Otherwise a streaming k-way merge pulls one batch of
+// Options.ScanBatch entries per shard at a time (see Cursor), so peak
+// memory is O(shards × batch) regardless of scan length or dataset
+// size.
 func (m *Ordered) Scan(start []byte, count int, fn func(key []byte, value uint64) bool) int {
 	if len(m.shards) == 1 {
 		return m.shards[0].idx.Scan(start, count, fn)
 	}
-	type entry struct {
-		key []byte
-		val uint64
+	if orderPreserving(m.part) {
+		return m.scanSequential(start, count, fn)
 	}
-	var all []entry
-	for i := range m.shards {
-		m.shards[i].idx.Scan(start, count, func(k []byte, v uint64) bool {
-			// Indexes may reuse the callback key buffer; copy.
-			all = append(all, entry{append([]byte(nil), k...), v})
+	return m.scanMerge(start, count, fn)
+}
+
+// scanSequential is the order-preserving fast path: shard i's keys all
+// precede shard i+1's, so the scan drains shards in order, forwarding
+// each shard's callback keys to fn untouched.
+func (m *Ordered) scanSequential(start []byte, count int, fn func(key []byte, value uint64) bool) int {
+	first := 0
+	if len(start) > 0 {
+		// Shards before start's owner hold only keys < start.
+		first = m.part.Shard(start, len(m.shards))
+	}
+	visited := 0
+	for i := first; i < len(m.shards); i++ {
+		rem := 0
+		if count > 0 {
+			rem = count - visited
+		}
+		stopped := false
+		visited += m.shards[i].idx.Scan(start, rem, func(k []byte, v uint64) bool {
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
 			return true
 		})
+		if stopped || (count > 0 && visited >= count) {
+			break
+		}
 	}
-	sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].key, all[j].key) < 0 })
-	// Count as the single-index Scans do: a key on which fn returns
-	// false is not counted as visited.
+	return visited
+}
+
+// scanMerge streams the k-way merge: one batched cursor per shard, a
+// min-heap by head key, at most one batch buffered per shard.
+func (m *Ordered) scanMerge(start []byte, count int, fn func(key []byte, value uint64) bool) int {
+	batch := m.batch
+	if count > 0 && count < batch {
+		// A bounded scan consumes at most count entries in total, so no
+		// shard ever needs a larger batch.
+		batch = count
+	}
+	c := m.mergeCursor(start, batch)
 	visited := 0
-	for _, e := range all {
-		if !fn(e.key, e.val) {
+	for {
+		k, v, ok := c.Next()
+		if !ok || !fn(k, v) {
 			break
 		}
 		visited++
