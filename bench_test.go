@@ -308,6 +308,58 @@ func BenchmarkScanStreaming(b *testing.B) {
 	}
 }
 
+// BenchmarkWorkloadSkew sweeps the request-distribution axis the paper
+// left closed: workload F (50/50 read/RMW) under uniform vs zipfian
+// θ ∈ {0.5, 0.99} and workload D (95/5 read-latest/insert), across
+// representative ordered indexes and shard counts. Under skew a
+// handful of ranks absorb most read-like traffic: with H shards those
+// ranks live on few partitions, so the per-shard striped counters and
+// write locks that uniform traffic spreads evenly concentrate instead
+// — the shard-imbalance effect DESIGN.md's "Request distributions and
+// update semantics" section discusses. As with the other scaling
+// families, the contention itself needs GOMAXPROCS > 1 to manifest;
+// at 1 CPU the cells pin the code paths (and feed the bench-smoke CI
+// lane) rather than the separation.
+func BenchmarkWorkloadSkew(b *testing.B) {
+	type cell struct {
+		label string
+		w     ycsb.Workload
+		dist  recipe.Distribution
+	}
+	cells := []cell{
+		{"F/uniform", ycsb.F, recipe.Uniform{}},
+		{"F/zipf-0.5", ycsb.F, recipe.Zipfian{Theta: 0.5}},
+		{"F/zipf-0.99", ycsb.F, recipe.Zipfian{Theta: 0.99}},
+		{"D/latest-0.99", ycsb.D, recipe.Latest{Theta: 0.99}},
+	}
+	for _, index := range []string{"P-ART", "FAST & FAIR"} {
+		for _, c := range cells {
+			for _, shards := range []int{1, 8} {
+				b.Run(fmt.Sprintf("%s/%s/shards=%d", index, c.label, shards), func(b *testing.B) {
+					m, err := recipe.NewShardedOrdered(index, keys.RandInt,
+						recipe.ShardOptions{Shards: shards})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer m.Release()
+					gen := keys.NewGenerator(keys.RandInt)
+					w := c.w
+					w.Dist = c.dist
+					res, err := recipe.RunOrderedWorkload(index, m, gen, m, w,
+						benchLoadN, b.N, benchThreads, 42)
+					if err != nil {
+						if index == "FAST & FAIR" && strings.Contains(err.Error(), "read id") {
+							b.Skipf("FAST & FAIR known data-loss class under concurrency: %v", err)
+						}
+						b.Fatal(err)
+					}
+					b.ReportMetric(res.MopsPerSec(), "Mops/s")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkSec73_WOART: P-ART vs globally locked WOART (§7.3).
 func BenchmarkSec73_WOART(b *testing.B) {
 	for _, name := range []string{"P-ART", "WOART"} {

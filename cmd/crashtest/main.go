@@ -142,6 +142,7 @@ func ccehFaithful(h *pmem.Heap) core.HashIndex {
 type faithfulCCEH struct{ t *cceh.Index }
 
 func (f faithfulCCEH) Insert(k, v uint64) error       { return f.t.Insert(k, v) }
+func (f faithfulCCEH) Update(k, v uint64) error       { return f.t.Insert(k, v) }
 func (f faithfulCCEH) Lookup(k uint64) (uint64, bool) { return f.t.Lookup(k) }
 func (f faithfulCCEH) Delete(k uint64) (bool, error)  { return f.t.Delete(k) }
 func (f faithfulCCEH) Recover() error                 { return f.t.Recover() }
@@ -155,6 +156,7 @@ func ffFaithful(h *pmem.Heap) core.OrderedIndex {
 type faithfulFF struct{ t *fastfair.Tree }
 
 func (f faithfulFF) Insert(k []byte, v uint64) error { return f.t.Insert(k, v) }
+func (f faithfulFF) Update(k []byte, v uint64) error { return f.t.Insert(k, v) }
 func (f faithfulFF) Lookup(k []byte) (uint64, bool)  { return f.t.Lookup(k) }
 func (f faithfulFF) Delete(k []byte) (bool, error)   { return f.t.Delete(k) }
 func (f faithfulFF) Recover() error                  { f.t.Recover(); return nil }

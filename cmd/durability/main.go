@@ -109,6 +109,7 @@ func printSites(rep harness.SiteCampaignReport) {
 type ffAdapter struct{ t *fastfair.Tree }
 
 func (f ffAdapter) Insert(k []byte, v uint64) error { return f.t.Insert(k, v) }
+func (f ffAdapter) Update(k []byte, v uint64) error { return f.t.Insert(k, v) }
 func (f ffAdapter) Lookup(k []byte) (uint64, bool)  { return f.t.Lookup(k) }
 func (f ffAdapter) Delete(k []byte) (bool, error)   { return f.t.Delete(k) }
 func (f ffAdapter) Recover() error                  { f.t.Recover(); return nil }
@@ -120,6 +121,7 @@ func (f ffAdapter) Scan(s []byte, c int, fn func([]byte, uint64) bool) int {
 type ccehAdapter struct{ t *cceh.Index }
 
 func (c ccehAdapter) Insert(k, v uint64) error       { return c.t.Insert(k, v) }
+func (c ccehAdapter) Update(k, v uint64) error       { return c.t.Insert(k, v) }
 func (c ccehAdapter) Lookup(k uint64) (uint64, bool) { return c.t.Lookup(k) }
 func (c ccehAdapter) Delete(k uint64) (bool, error)  { return c.t.Delete(k) }
 func (c ccehAdapter) Recover() error                 { return c.t.Recover() }

@@ -2,13 +2,20 @@
 // Fig 4a (ordered indexes, integer keys), Fig 4b (ordered indexes, string
 // keys), Fig 5 (hash indexes, integer keys), and the §7.3 P-ART vs WOART
 // comparison. It prints one row per index with one column per YCSB
-// workload, mirroring the figures' series.
+// workload, mirroring the figures' series. Beyond the paper, -workloads
+// runs any subset of YCSB A–F (including the update-bearing D and F the
+// paper skipped) on every index, unsharded and sharded, with exact
+// per-op-kind clwb/fence attribution, and -dist/-theta select the
+// request distribution (uniform — the paper's setup — zipfian, or
+// read-latest).
 //
 // Usage:
 //
 //	go run ./cmd/ycsbbench -figure 4a -keys 1000000 -ops 1000000 -threads 16
 //	go run ./cmd/ycsbbench -figure all
 //	go run ./cmd/ycsbbench -figure 4a -shards 8 -partition hash
+//	go run ./cmd/ycsbbench -workloads A,B,C,D,E,F -dist zipfian -theta 0.99
+//	go run ./cmd/ycsbbench -workloads D,F
 //
 // Simulated-PM latency is charged per clwb/fence (-clwbdelay/-fencedelay
 // busy-work units) so flush-heavy indexes pay the write-path penalty they
@@ -29,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -46,6 +54,18 @@ type config struct {
 	shards              int
 	part                shard.Partitioner
 	scanBatch           int
+	// dist overrides every workload's request distribution when
+	// non-nil (-dist); nil keeps each workload row's own default
+	// (uniform for the Table 3 rows, latest for D, zipfian for F).
+	dist ycsb.Distribution
+}
+
+// workloadFor returns w with the -dist override applied.
+func (c config) workloadFor(w ycsb.Workload) ycsb.Workload {
+	if c.dist != nil {
+		w.Dist = c.dist
+	}
+	return w
 }
 
 func main() {
@@ -57,9 +77,12 @@ func main() {
 		seed       = flag.Int64("seed", 42, "workload seed")
 		clwbDelay  = flag.Int("clwbdelay", 40, "simulated PM write-back cost per clwb (busy-work units)")
 		fenceDelay = flag.Int("fencedelay", 20, "simulated cost per fence (busy-work units)")
-		shards     = flag.Int("shards", 1, "partitions in the sharded front-end (1 = one heap per cell)")
+		shards     = flag.Int("shards", 1, "partitions in the sharded front-end (1 = one heap per cell; -workloads mode also always runs H=1)")
 		partition  = flag.String("partition", "hash", `key partitioner for ordered figures with -shards > 1: "hash" or "range" (hash figures always route by hash)`)
 		scanBatch  = flag.Int("scanbatch", 0, "per-shard batch size for streaming merged scans (0 = default)")
+		workloads  = flag.String("workloads", "", `comma-separated YCSB workloads to run on every index, sharded and unsharded (e.g. "D,F" or "A,B,C,D,E,F"); empty = run -figure instead`)
+		distName   = flag.String("dist", "", `request distribution override: "uniform", "zipfian" or "latest"; empty = each workload's default (uniform; latest for D, zipfian for F)`)
+		theta      = flag.Float64("theta", ycsb.DefaultTheta, "skew parameter in (0,1) for -dist zipfian/latest")
 	)
 	flag.Parse()
 	part, ok := shard.ByName(*partition)
@@ -71,10 +94,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-shards must be >= 1, got %d\n", *shards)
 		os.Exit(2)
 	}
+	var dist ycsb.Distribution
+	if *distName != "" {
+		var err error
+		dist, err = ycsb.DistributionByName(*distName, *theta)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	cfg := config{
 		loadN: *loadN, opN: *opN, threads: *threads, seed: *seed,
 		heap:   pmem.Options{DelayClwb: *clwbDelay, DelayFence: *fenceDelay},
-		shards: *shards, part: part, scanBatch: *scanBatch,
+		shards: *shards, part: part, scanBatch: *scanBatch, dist: dist,
+	}
+
+	if *workloads != "" {
+		runWorkloads(*workloads, cfg)
+		return
 	}
 
 	run := func(fig string) {
@@ -104,6 +141,7 @@ func main() {
 // orderedCell runs one (index, workload) measurement through the sharded
 // front-end and verifies aggregate-vs-per-shard counter conservation.
 func orderedCell(name string, kind keys.Kind, w ycsb.Workload, cfg config) harness.Result {
+	w = cfg.workloadFor(w)
 	m, err := shard.NewOrdered(name, kind, shard.Options{
 		Shards: cfg.shards, Partitioner: cfg.part, Heap: cfg.heap, ScanBatch: cfg.scanBatch,
 	})
@@ -126,6 +164,7 @@ func orderedCell(name string, kind keys.Kind, w ycsb.Workload, cfg config) harne
 
 // hashCell is orderedCell for unordered indexes.
 func hashCell(name string, w ycsb.Workload, cfg config) harness.Result {
+	w = cfg.workloadFor(w)
 	m, err := shard.NewHash(name, shard.Options{Shards: cfg.shards, Heap: cfg.heap})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -200,6 +239,187 @@ func runHash(cfg config) {
 		}
 		fmt.Println()
 	}
+}
+
+// kindsOf returns the op kinds a workload mix contains, in column
+// order.
+func kindsOf(w ycsb.Workload) []ycsb.OpKind {
+	var ks []ycsb.OpKind
+	add := func(k ycsb.OpKind, pct int) {
+		if pct > 0 {
+			ks = append(ks, k)
+		}
+	}
+	add(ycsb.OpInsert, w.InsertPct)
+	add(ycsb.OpRead, w.ReadPct)
+	add(ycsb.OpUpdate, w.UpdatePct)
+	add(ycsb.OpRMW, w.RMWPct)
+	add(ycsb.OpScan, w.ScanPct)
+	return ks
+}
+
+// runWorkloads is the beyond-the-paper mode: any subset of YCSB A–F on
+// every index, each cell unsharded (H=1) and sharded, with exact
+// per-op-kind clwb/fence columns from a single-threaded attribution
+// pass (see harness.AttributeOrdered) that must conserve bit-exactly
+// against the aggregate counters.
+func runWorkloads(list string, cfg config) {
+	var wls []ycsb.Workload
+	for _, n := range strings.Split(list, ",") {
+		w, err := ycsb.ByName(strings.TrimSpace(n))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		wls = append(wls, w)
+	}
+	sharded := cfg.shards
+	if sharded < 2 {
+		sharded = 4
+	}
+	distNote := "per-workload default"
+	if cfg.dist != nil {
+		distNote = cfg.dist.Name()
+	}
+	fmt.Printf("\n=== YCSB workloads %s · dist=%s · %d threads · load %d + run %d · H ∈ {1, %d} ===\n",
+		list, distNote, cfg.threads, cfg.loadN, cfg.opN, sharded)
+	orderedNames := append(append([]string{}, core.OrderedNames...), "WOART")
+	for _, base := range wls {
+		w := cfg.workloadFor(base)
+		dist := "uniform"
+		if w.Dist != nil {
+			dist = w.Dist.Name()
+		}
+		fmt.Printf("\n-- Workload %s · %s · dist=%s · %s --\n", w.Name, w.Description, dist, w.AppPattern)
+		kinds := kindsOf(w)
+		fmt.Printf("%-14s %2s %9s", "Index", "H", "Mops/s")
+		for _, k := range kinds {
+			fmt.Printf(" %12s %12s", "clwb/"+k.String(), "fence/"+k.String())
+		}
+		fmt.Println("   (clwb/fence columns: exact single-thread attribution)")
+		for _, name := range orderedNames {
+			for _, h := range []int{1, sharded} {
+				c := cfg
+				c.shards = h
+				workloadCellOrdered(name, w, c, kinds)
+			}
+		}
+		if w.ScanPct > 0 {
+			fmt.Printf("%-14s (scan workload — unordered indexes skipped)\n", "hash indexes")
+			continue
+		}
+		for _, name := range core.HashNames {
+			for _, h := range []int{1, sharded} {
+				c := cfg
+				c.shards = h
+				workloadCellHash(name, w, c, kinds)
+			}
+		}
+	}
+}
+
+// attrSizes caps the attribution pass: it is single-threaded and
+// snapshots counters around every op, so it runs at reduced scale.
+func attrSizes(cfg config) (loadN, opN int) {
+	return min(cfg.loadN, 20_000), min(cfg.opN, 10_000)
+}
+
+// workloadCellOrdered runs one -workloads cell for an ordered index:
+// a multi-threaded throughput run (with the per-shard counter
+// conservation guard) plus the attribution pass, then prints one row.
+func workloadCellOrdered(name string, w ycsb.Workload, cfg config, kinds []ycsb.OpKind) {
+	m, err := shard.NewOrdered(name, keys.RandInt, shard.Options{
+		Shards: cfg.shards, Partitioner: cfg.part, Heap: cfg.heap, ScanBatch: cfg.scanBatch,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	gen := keys.NewGenerator(keys.RandInt)
+	before := m.ShardStats()
+	aggBefore := m.Stats()
+	res, err := harness.RunOrdered(name, m, gen, m, w, cfg.loadN, cfg.opN, cfg.threads, cfg.seed)
+	if err != nil {
+		m.Release()
+		if name == "FAST & FAIR" && strings.Contains(err.Error(), "read id") {
+			// The §3 data-loss class the paper reports for FAST & FAIR
+			// under concurrent insert storms (see
+			// fastfair.TestKnownIssueConcurrentLoadLoss).
+			fmt.Printf("%-14s %2d %9s  skipped: known FAST & FAIR data-loss class under concurrency\n", name, cfg.shards, "-")
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", name, w.Name, err)
+		os.Exit(1)
+	}
+	checkConservation(name, w.Name, m.Stats().Sub(aggBefore), m.ShardStats(), before)
+	m.Release()
+
+	am, err := shard.NewOrdered(name, keys.RandInt, shard.Options{
+		Shards: cfg.shards, Partitioner: cfg.part, Heap: cfg.heap, ScanBatch: cfg.scanBatch,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	attrLoadN, attrOpN := attrSizes(cfg)
+	attr, err := harness.AttributeOrdered(am, gen, am, w, attrLoadN, attrOpN, cfg.seed+1)
+	am.Release()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\n%s/%s attribution: %v\n", name, w.Name, err)
+		os.Exit(1)
+	}
+	if !attr.Conserves() {
+		fmt.Fprintf(os.Stderr, "\n%s/%s: per-op-kind stats do not conserve against aggregate counters\n", name, w.Name)
+		os.Exit(1)
+	}
+	printWorkloadRow(name, cfg.shards, res, attr, kinds)
+}
+
+// workloadCellHash is workloadCellOrdered for unordered indexes.
+func workloadCellHash(name string, w ycsb.Workload, cfg config, kinds []ycsb.OpKind) {
+	m, err := shard.NewHash(name, shard.Options{Shards: cfg.shards, Heap: cfg.heap})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	gen := keys.NewGenerator(keys.RandInt)
+	before := m.ShardStats()
+	aggBefore := m.Stats()
+	res, err := harness.RunHash(name, m, gen, m, w, cfg.loadN, cfg.opN, cfg.threads, cfg.seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", name, w.Name, err)
+		os.Exit(1)
+	}
+	checkConservation(name, w.Name, m.Stats().Sub(aggBefore), m.ShardStats(), before)
+	m.Release()
+
+	am, err := shard.NewHash(name, shard.Options{Shards: cfg.shards, Heap: cfg.heap})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	attrLoadN, attrOpN := attrSizes(cfg)
+	attr, err := harness.AttributeHash(am, gen, am, w, attrLoadN, attrOpN, cfg.seed+1)
+	am.Release()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\n%s/%s attribution: %v\n", name, w.Name, err)
+		os.Exit(1)
+	}
+	if !attr.Conserves() {
+		fmt.Fprintf(os.Stderr, "\n%s/%s: per-op-kind stats do not conserve against aggregate counters\n", name, w.Name)
+		os.Exit(1)
+	}
+	printWorkloadRow(name, cfg.shards, res, attr, kinds)
+}
+
+// printWorkloadRow prints one -workloads table row: throughput plus
+// the attributed clwb/fence per op of each kind in the mix.
+func printWorkloadRow(name string, shards int, res harness.Result, attr harness.Attribution, kinds []ycsb.OpKind) {
+	fmt.Printf("%-14s %2d %9.3f", name, shards, res.MopsPerSec())
+	for _, k := range kinds {
+		fmt.Printf(" %12.2f %12.2f", attr.ClwbPer(k), attr.FencePer(k))
+	}
+	fmt.Println()
 }
 
 func runWOART(cfg config) {

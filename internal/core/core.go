@@ -26,6 +26,13 @@ import (
 type OrderedIndex interface {
 	// Insert stores value under key, overwriting an existing binding.
 	Insert(key []byte, value uint64) error
+	// Update overwrites the value stored under key in place. Every
+	// index here reaches it through its upsert-capable Insert path
+	// (YCSB blind-write semantics: updating an absent key inserts it),
+	// but the separate method keeps the operation distinguishable for
+	// workloads D/F accounting and lets future indexes route updates
+	// past their insert path (e.g. skip SMO machinery).
+	Update(key []byte, value uint64) error
 	// Lookup returns the value stored under key.
 	Lookup(key []byte) (uint64, bool)
 	// Delete removes key, reporting whether it was present.
@@ -45,6 +52,9 @@ type OrderedIndex interface {
 // evaluates unordered indexes with 8-byte integer keys (§7).
 type HashIndex interface {
 	Insert(key, value uint64) error
+	// Update overwrites key's value in place via the upsert path (see
+	// OrderedIndex.Update).
+	Update(key, value uint64) error
 	Lookup(key uint64) (uint64, bool)
 	Delete(key uint64) (bool, error)
 	Recover() error
@@ -147,6 +157,7 @@ type orderedAdapter struct {
 }
 
 func (a *orderedAdapter) Insert(k []byte, v uint64) error { return a.insert(k, v) }
+func (a *orderedAdapter) Update(k []byte, v uint64) error { return a.insert(k, v) }
 func (a *orderedAdapter) Lookup(k []byte) (uint64, bool)  { return a.lookup(k) }
 func (a *orderedAdapter) Delete(k []byte) (bool, error)   { return a.del(k) }
 func (a *orderedAdapter) Recover() error                  { return a.rec() }
@@ -199,6 +210,7 @@ type hashAdapter struct {
 }
 
 func (a *hashAdapter) Insert(k, v uint64) error       { return a.insert(k, v) }
+func (a *hashAdapter) Update(k, v uint64) error       { return a.insert(k, v) }
 func (a *hashAdapter) Lookup(k uint64) (uint64, bool) { return a.lookup(k) }
 func (a *hashAdapter) Delete(k uint64) (bool, error)  { return a.del(k) }
 func (a *hashAdapter) Recover() error                 { return a.rec() }

@@ -44,6 +44,65 @@ func TestNewOrderedAllNames(t *testing.T) {
 	}
 }
 
+// TestUpdateAllIndexes: every index (ordered and hash) overwrites in
+// place through Update — no growth, new value visible — the capability
+// that unlocks workloads D and F.
+func TestUpdateAllIndexes(t *testing.T) {
+	for _, name := range append(append([]string(nil), OrderedNames...), "WOART") {
+		heap := pmem.NewFast()
+		idx, err := NewOrdered(name, heap, keys.RandInt)
+		if err != nil {
+			t.Fatalf("NewOrdered(%q): %v", name, err)
+		}
+		gen := keys.NewGenerator(keys.RandInt)
+		for i := uint64(0); i < 200; i++ {
+			if err := idx.Insert(gen.Key(i), i); err != nil {
+				t.Fatalf("%s insert: %v", name, err)
+			}
+		}
+		for i := uint64(0); i < 200; i++ {
+			if err := idx.Update(gen.Key(i), i+1000); err != nil {
+				t.Fatalf("%s update: %v", name, err)
+			}
+		}
+		if idx.Len() != 200 {
+			t.Fatalf("%s: updates grew Len to %d, want 200", name, idx.Len())
+		}
+		for i := uint64(0); i < 200; i++ {
+			if v, ok := idx.Lookup(gen.Key(i)); !ok || v != i+1000 {
+				t.Fatalf("%s lookup after update %d = %d,%v", name, i, v, ok)
+			}
+		}
+		heap.Release()
+	}
+	for _, name := range HashNames {
+		heap := pmem.NewFast()
+		idx, err := NewHash(name, heap)
+		if err != nil {
+			t.Fatalf("NewHash(%q): %v", name, err)
+		}
+		for i := uint64(1); i <= 200; i++ {
+			if err := idx.Insert(i, i); err != nil {
+				t.Fatalf("%s insert: %v", name, err)
+			}
+		}
+		for i := uint64(1); i <= 200; i++ {
+			if err := idx.Update(i, i+1000); err != nil {
+				t.Fatalf("%s update: %v", name, err)
+			}
+		}
+		if idx.Len() != 200 {
+			t.Fatalf("%s: updates grew Len to %d, want 200", name, idx.Len())
+		}
+		for i := uint64(1); i <= 200; i++ {
+			if v, ok := idx.Lookup(i); !ok || v != i+1000 {
+				t.Fatalf("%s lookup after update %d = %d,%v", name, i, v, ok)
+			}
+		}
+		heap.Release()
+	}
+}
+
 func TestNewHashAllNames(t *testing.T) {
 	for _, name := range HashNames {
 		heap := pmem.NewFast()

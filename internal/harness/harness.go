@@ -25,6 +25,22 @@ type StatsSource interface {
 	Stats() pmem.Stats
 }
 
+// Value tags distinguish in-place rewrites from the original insert so
+// read verification can accept any interleaving: inserts store the
+// key's dense identifier, updates store it with UpdateBit set, RMWs
+// OR RMWBit into whatever value they read. Identifiers are dense (far
+// below 2^62), so the top two bits are free.
+const (
+	// UpdateBit marks a value written by OpUpdate.
+	UpdateBit uint64 = 1 << 63
+	// RMWBit marks a value rewritten by OpRMW.
+	RMWBit uint64 = 1 << 62
+)
+
+// ValueID strips the update/RMW tag bits, recovering the dense key
+// identifier a stored value verifies against.
+func ValueID(v uint64) uint64 { return v &^ (UpdateBit | RMWBit) }
+
 // Result is one (index, workload) measurement.
 type Result struct {
 	Index    string
@@ -36,8 +52,13 @@ type Result struct {
 	// Stats is the heap-counter delta over the measured phase.
 	Stats pmem.Stats
 	// Inserts counts insert operations in the measured phase (for
-	// clwb/mfence-per-insert columns).
+	// clwb/mfence-per-insert columns; == Counts[ycsb.OpInsert]).
 	Inserts int
+	// Counts is the number of operations the workers actually executed,
+	// per kind. Conservation holds by construction — reads + updates +
+	// RMWs + inserts + scans == Ops — and TestRunConservationDF
+	// re-checks it against the plan under -race.
+	Counts [ycsb.NumOpKinds]int
 }
 
 // MopsPerSec returns throughput in million operations per second.
@@ -91,7 +112,7 @@ func RunOrdered(name string, idx core.OrderedIndex, gen *keys.Generator, stats S
 	res := Result{
 		Index: name, Workload: w.Name, KeyKind: gen.Kind(), Threads: threads,
 		Ops: plan.TotalOps(), Elapsed: elapsed, Stats: stats.Stats().Sub(before),
-		Inserts: plan.Inserts,
+		Inserts: plan.Inserts, Counts: plan.Counts,
 	}
 	return res, nil
 }
@@ -116,8 +137,71 @@ func RunHash(name string, idx core.HashIndex, gen *keys.Generator, stats StatsSo
 	return Result{
 		Index: name, Workload: w.Name, KeyKind: gen.Kind(), Threads: threads,
 		Ops: plan.TotalOps(), Elapsed: elapsed, Stats: stats.Stats().Sub(before),
-		Inserts: plan.Inserts,
+		Inserts: plan.Inserts, Counts: plan.Counts,
 	}, nil
+}
+
+// applyOrderedOp executes one operation against an ordered index. buf
+// is the caller's reusable key buffer (returned so the caller keeps its
+// growth). Reads verify the stored identifier modulo the update/RMW
+// value tags, since a concurrent or earlier in-place write may have
+// tagged the value.
+func applyOrderedOp(idx core.OrderedIndex, gen *keys.Generator, op ycsb.Op, buf []byte) ([]byte, error) {
+	buf = gen.AppendKey(buf[:0], op.ID)
+	switch op.Kind {
+	case ycsb.OpInsert:
+		if err := idx.Insert(buf, op.ID); err != nil {
+			return buf, fmt.Errorf("insert id %d: %w", op.ID, err)
+		}
+	case ycsb.OpRead:
+		if v, ok := idx.Lookup(buf); !ok || ValueID(v) != op.ID {
+			return buf, fmt.Errorf("read id %d: got %d,%v", op.ID, v, ok)
+		}
+	case ycsb.OpUpdate:
+		if err := idx.Update(buf, op.ID|UpdateBit); err != nil {
+			return buf, fmt.Errorf("update id %d: %w", op.ID, err)
+		}
+	case ycsb.OpRMW:
+		v, ok := idx.Lookup(buf)
+		if !ok || ValueID(v) != op.ID {
+			return buf, fmt.Errorf("rmw read id %d: got %d,%v", op.ID, v, ok)
+		}
+		if err := idx.Update(buf, v|RMWBit); err != nil {
+			return buf, fmt.Errorf("rmw write id %d: %w", op.ID, err)
+		}
+	case ycsb.OpScan:
+		idx.Scan(buf, op.ScanLen, func([]byte, uint64) bool { return true })
+	}
+	return buf, nil
+}
+
+// applyHashOp is applyOrderedOp for unordered indexes (integer keys;
+// scans are rejected upstream).
+func applyHashOp(idx core.HashIndex, gen *keys.Generator, op ycsb.Op) error {
+	k := gen.Uint64(op.ID) | 1 // hash tables reserve key 0
+	switch op.Kind {
+	case ycsb.OpInsert:
+		if err := idx.Insert(k, op.ID); err != nil {
+			return fmt.Errorf("insert id %d: %w", op.ID, err)
+		}
+	case ycsb.OpRead:
+		if v, ok := idx.Lookup(k); !ok || ValueID(v) != op.ID {
+			return fmt.Errorf("read id %d: got %d,%v", op.ID, v, ok)
+		}
+	case ycsb.OpUpdate:
+		if err := idx.Update(k, op.ID|UpdateBit); err != nil {
+			return fmt.Errorf("update id %d: %w", op.ID, err)
+		}
+	case ycsb.OpRMW:
+		v, ok := idx.Lookup(k)
+		if !ok || ValueID(v) != op.ID {
+			return fmt.Errorf("rmw read id %d: got %d,%v", op.ID, v, ok)
+		}
+		if err := idx.Update(k, v|RMWBit); err != nil {
+			return fmt.Errorf("rmw write id %d: %w", op.ID, err)
+		}
+	}
+	return nil
 }
 
 // execOrdered runs a plan against an ordered index, one goroutine per
@@ -131,21 +215,11 @@ func execOrdered(idx core.OrderedIndex, gen *keys.Generator, plan *ycsb.Plan) er
 		go func() {
 			defer wg.Done()
 			buf := make([]byte, 0, 32)
+			var err error
 			for _, op := range plan.Threads[t] {
-				buf = gen.AppendKey(buf[:0], op.ID)
-				switch op.Kind {
-				case ycsb.OpInsert:
-					if err := idx.Insert(buf, op.ID); err != nil {
-						errs[t] = fmt.Errorf("insert id %d: %w", op.ID, err)
-						return
-					}
-				case ycsb.OpRead:
-					if v, ok := idx.Lookup(buf); !ok || v != op.ID {
-						errs[t] = fmt.Errorf("read id %d: got %d,%v", op.ID, v, ok)
-						return
-					}
-				case ycsb.OpScan:
-					idx.Scan(buf, op.ScanLen, func([]byte, uint64) bool { return true })
+				if buf, err = applyOrderedOp(idx, gen, op, buf); err != nil {
+					errs[t] = err
+					return
 				}
 			}
 		}()
@@ -169,18 +243,9 @@ func execHash(idx core.HashIndex, gen *keys.Generator, plan *ycsb.Plan) error {
 		go func() {
 			defer wg.Done()
 			for _, op := range plan.Threads[t] {
-				k := gen.Uint64(op.ID) | 1 // hash tables reserve key 0
-				switch op.Kind {
-				case ycsb.OpInsert:
-					if err := idx.Insert(k, op.ID); err != nil {
-						errs[t] = fmt.Errorf("insert id %d: %w", op.ID, err)
-						return
-					}
-				case ycsb.OpRead:
-					if v, ok := idx.Lookup(k); !ok || v != op.ID {
-						errs[t] = fmt.Errorf("read id %d: got %d,%v", op.ID, v, ok)
-						return
-					}
+				if err := applyHashOp(idx, gen, op); err != nil {
+					errs[t] = err
+					return
 				}
 			}
 		}()
@@ -192,6 +257,109 @@ func execHash(idx core.HashIndex, gen *keys.Generator, plan *ycsb.Plan) error {
 		}
 	}
 	return nil
+}
+
+// KindStats is the counter delta one operation kind accumulated over
+// an attribution pass.
+type KindStats struct {
+	// Ops is the number of operations of this kind executed.
+	Ops int
+	// Stats is the exact counter delta charged to this kind.
+	Stats pmem.Stats
+}
+
+// Attribution is the per-op-kind counter breakdown of one attribution
+// pass, indexed by ycsb.OpKind, plus the aggregate measured-phase
+// delta the per-kind deltas must sum to.
+type Attribution struct {
+	Kinds [ycsb.NumOpKinds]KindStats
+	// Total is the aggregate counter delta over the measured phase.
+	// Conservation is exact: Total equals the field-wise sum of
+	// Kinds[*].Stats, because execution is single-threaded and the
+	// striped counters are exact at snapshot points.
+	Total pmem.Stats
+}
+
+// Conserves reports whether the per-kind deltas sum bit-exactly to the
+// aggregate delta.
+func (a Attribution) Conserves() bool {
+	var sum pmem.Stats
+	for _, k := range a.Kinds {
+		sum = sum.Add(k.Stats)
+	}
+	return sum == a.Total
+}
+
+// ClwbPer returns average clwb per operation of kind k.
+func (a Attribution) ClwbPer(k ycsb.OpKind) float64 {
+	if a.Kinds[k].Ops == 0 {
+		return 0
+	}
+	return float64(a.Kinds[k].Stats.Clwb) / float64(a.Kinds[k].Ops)
+}
+
+// FencePer returns average fence per operation of kind k.
+func (a Attribution) FencePer(k ycsb.OpKind) float64 {
+	if a.Kinds[k].Ops == 0 {
+		return 0
+	}
+	return float64(a.Kinds[k].Stats.Fence) / float64(a.Kinds[k].Ops)
+}
+
+// AttributeOrdered loads loadN keys into idx, then executes opN
+// operations of w single-threaded, snapshotting the counter source
+// around every operation and charging each delta to the operation's
+// kind. This is how per-op-kind clwb/fence columns (clwb per update vs
+// per insert) are measured exactly: multi-threaded runs cannot
+// attribute a shared counter to the op that moved it, a serial walk
+// can, and the per-kind deltas then conserve bit-exactly against the
+// aggregate (Attribution.Conserves).
+func AttributeOrdered(idx core.OrderedIndex, gen *keys.Generator, stats StatsSource, w ycsb.Workload, loadN, opN int, seed int64) (Attribution, error) {
+	if err := execOrdered(idx, gen, ycsb.GenerateLoad(loadN, 1)); err != nil {
+		return Attribution{}, fmt.Errorf("load phase: %w", err)
+	}
+	plan := ycsb.Generate(w, loadN, opN, 1, seed)
+	var a Attribution
+	start := stats.Stats()
+	before := start
+	buf := make([]byte, 0, 32)
+	var err error
+	for _, op := range plan.Threads[0] {
+		if buf, err = applyOrderedOp(idx, gen, op, buf); err != nil {
+			return Attribution{}, fmt.Errorf("run phase: %w", err)
+		}
+		after := stats.Stats()
+		a.Kinds[op.Kind].Ops++
+		a.Kinds[op.Kind].Stats = a.Kinds[op.Kind].Stats.Add(after.Sub(before))
+		before = after
+	}
+	a.Total = before.Sub(start)
+	return a, nil
+}
+
+// AttributeHash is AttributeOrdered for unordered indexes.
+func AttributeHash(idx core.HashIndex, gen *keys.Generator, stats StatsSource, w ycsb.Workload, loadN, opN int, seed int64) (Attribution, error) {
+	if w.ScanPct > 0 {
+		return Attribution{}, fmt.Errorf("harness: workload %s has scans; unordered indexes do not support them", w.Name)
+	}
+	if err := execHash(idx, gen, ycsb.GenerateLoad(loadN, 1)); err != nil {
+		return Attribution{}, fmt.Errorf("load phase: %w", err)
+	}
+	plan := ycsb.Generate(w, loadN, opN, 1, seed)
+	var a Attribution
+	start := stats.Stats()
+	before := start
+	for _, op := range plan.Threads[0] {
+		if err := applyHashOp(idx, gen, op); err != nil {
+			return Attribution{}, fmt.Errorf("run phase: %w", err)
+		}
+		after := stats.Stats()
+		a.Kinds[op.Kind].Ops++
+		a.Kinds[op.Kind].Stats = a.Kinds[op.Kind].Stats.Add(after.Sub(before))
+		before = after
+	}
+	a.Total = before.Sub(start)
+	return a, nil
 }
 
 // CrashReport summarises a §7.5 crash-recovery campaign.

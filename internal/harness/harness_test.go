@@ -39,6 +39,190 @@ func TestRunOrderedAllWorkloads(t *testing.T) {
 	}
 }
 
+// TestRunConservationDF executes the update-bearing workloads D and F
+// on every index class, multi-threaded, and asserts harness-level op
+// conservation: the per-kind executed counts equal the plan's per-kind
+// counts, per thread and in aggregate (reads + updates + RMWs +
+// inserts + scans == opcount). The race lane runs this under -race, so
+// the update/RMW execution paths are exercised concurrently.
+func TestRunConservationDF(t *testing.T) {
+	const loadN, opN, threads = 3000, 6000, 4
+	for _, w := range []ycsb.Workload{ycsb.D, ycsb.F} {
+		plan := ycsb.Generate(w, loadN, opN, threads, 1)
+		for ti, ops := range plan.Threads {
+			var perThread [ycsb.NumOpKinds]int
+			for _, op := range ops {
+				perThread[op.Kind]++
+			}
+			sum := 0
+			for _, c := range perThread {
+				sum += c
+			}
+			if sum != len(ops) {
+				t.Fatalf("%s thread %d: kind counts sum to %d, stream has %d ops", w.Name, ti, sum, len(ops))
+			}
+		}
+		for _, name := range []string{"P-ART", "FAST & FAIR"} {
+			heap := pmem.NewFast()
+			idx, err := core.NewOrdered(name, heap, keys.RandInt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen := keys.NewGenerator(keys.RandInt)
+			res, err := RunOrdered(name, idx, gen, heap, w, loadN, opN, threads, 1)
+			if err != nil {
+				if name == "FAST & FAIR" && strings.Contains(err.Error(), "read id") {
+					heap.Release()
+					continue // known §3 data-loss class under concurrent inserts
+				}
+				t.Fatalf("%s/%s: %v", name, w.Name, err)
+			}
+			if res.Counts != plan.Counts {
+				t.Fatalf("%s/%s: executed counts %v != plan counts %v", name, w.Name, res.Counts, plan.Counts)
+			}
+			sum := 0
+			for _, c := range res.Counts {
+				sum += c
+			}
+			if sum != res.Ops {
+				t.Fatalf("%s/%s: counts sum %d != Ops %d", name, w.Name, sum, res.Ops)
+			}
+			heap.Release()
+		}
+		if w.ScanPct == 0 {
+			heap := pmem.NewFast()
+			idx, err := core.NewHash("P-CLHT", heap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen := keys.NewGenerator(keys.RandInt)
+			res, err := RunHash("P-CLHT", idx, gen, heap, w, loadN, opN, threads, 1)
+			if err != nil {
+				t.Fatalf("P-CLHT/%s: %v", w.Name, err)
+			}
+			if res.Counts != plan.Counts {
+				t.Fatalf("P-CLHT/%s: executed counts %v != plan counts %v", w.Name, res.Counts, plan.Counts)
+			}
+			heap.Release()
+		}
+	}
+}
+
+// TestRunUpdatesInPlace: workload F must not grow the index — every
+// write is an in-place rewrite of a loaded key, unlike the paper's
+// fresh-key update model.
+func TestRunUpdatesInPlace(t *testing.T) {
+	const loadN = 2000
+	heap := pmem.NewFast()
+	idx, err := core.NewOrdered("P-Masstree", heap, keys.RandInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := keys.NewGenerator(keys.RandInt)
+	if _, err := RunOrdered("P-Masstree", idx, gen, heap, ycsb.F, loadN, 4000, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := idx.Len(); n != loadN {
+		t.Fatalf("workload F grew the index to %d keys, want %d (in-place updates)", n, loadN)
+	}
+	// Tagged values decode back to the key's identifier.
+	for id := uint64(0); id < loadN; id += 97 {
+		v, ok := idx.Lookup(gen.Key(id))
+		if !ok || ValueID(v) != id {
+			t.Fatalf("id %d: got %d,%v after RMW traffic", id, v, ok)
+		}
+	}
+	heap.Release()
+}
+
+// TestAttributeConserves: the per-op-kind counter deltas of an
+// attribution pass must sum bit-exactly to the aggregate delta, and
+// update/RMW ops must charge fewer clwb than fresh inserts on a
+// B+-tree (no node allocation on the rewrite path).
+func TestAttributeConserves(t *testing.T) {
+	heap := pmem.NewFast()
+	idx, err := core.NewOrdered("FAST & FAIR", heap, keys.RandInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := keys.NewGenerator(keys.RandInt)
+	w := ycsb.Workload{Name: "mix", InsertPct: 25, ReadPct: 25, UpdatePct: 25, RMWPct: 25,
+		Dist: ycsb.Zipfian{Theta: 0.99}}
+	a, err := AttributeOrdered(idx, gen, heap, w, 3000, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Conserves() {
+		t.Fatalf("per-kind deltas do not sum to aggregate: %+v", a)
+	}
+	total := 0
+	for _, k := range a.Kinds {
+		total += k.Ops
+	}
+	if total != 4000 {
+		t.Fatalf("attributed %d ops, want 4000", total)
+	}
+	for _, k := range []ycsb.OpKind{ycsb.OpInsert, ycsb.OpUpdate, ycsb.OpRMW} {
+		if a.Kinds[k].Ops == 0 || a.Kinds[k].Stats.Clwb == 0 {
+			t.Fatalf("%v: no ops or no clwb attributed (%+v)", k, a.Kinds[k])
+		}
+	}
+	if a.ClwbPer(ycsb.OpUpdate) >= a.ClwbPer(ycsb.OpInsert) {
+		t.Fatalf("clwb/update (%v) should be below clwb/insert (%v) on FAST & FAIR",
+			a.ClwbPer(ycsb.OpUpdate), a.ClwbPer(ycsb.OpInsert))
+	}
+	heap.Release()
+
+	hheap := pmem.NewFast()
+	hidx, err := core.NewHash("P-CLHT", hheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := AttributeHash(hidx, keys.NewGenerator(keys.RandInt), hheap, ycsb.F, 3000, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ha.Conserves() {
+		t.Fatalf("hash per-kind deltas do not sum to aggregate: %+v", ha)
+	}
+	if ha.Kinds[ycsb.OpRMW].Ops == 0 {
+		t.Fatal("workload F attributed no RMW ops")
+	}
+	hheap.Release()
+}
+
+// TestRunShardedDF drives D and F through the sharded front-end (the
+// Update passthrough) and checks aggregate-vs-per-shard counter
+// conservation over the measured phase.
+func TestRunShardedDF(t *testing.T) {
+	for _, w := range []ycsb.Workload{ycsb.D, ycsb.F} {
+		m, err := shard.NewOrdered("P-ART", keys.RandInt, shard.Options{Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := keys.NewGenerator(keys.RandInt)
+		before := m.ShardStats()
+		aggBefore := m.Stats()
+		res, err := RunOrdered("P-ART", m, gen, m, w, 3000, 6000, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		agg := m.Stats().Sub(aggBefore)
+		var sum pmem.Stats
+		after := m.ShardStats()
+		for i := range after {
+			sum = sum.Add(after[i].Sub(before[i]))
+		}
+		if agg != sum {
+			t.Fatalf("%s: aggregate stats %+v != per-shard sum %+v", w.Name, agg, sum)
+		}
+		if res.Counts[ycsb.OpRead] == 0 {
+			t.Fatalf("%s executed no reads", w.Name)
+		}
+		m.Release()
+	}
+}
+
 func TestRunHash(t *testing.T) {
 	heap := pmem.NewFast()
 	idx, err := core.NewHash("P-CLHT", heap)

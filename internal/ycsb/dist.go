@@ -1,0 +1,295 @@
+// Request distributions: which already-inserted key a read-like
+// operation (read, update, read-modify-write, scan start) targets.
+//
+// The paper's evaluation draws read targets uniformly from the loaded
+// population; YCSB itself also defines the skewed zipfian and
+// read-latest distributions, which workloads D and F depend on. The
+// samplers here are deterministic functions of the plan seed so that
+// two generations of the same plan are bit-identical (the property
+// every regression test in this package leans on).
+
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Distribution selects which existing key identifier each read-like
+// operation targets. Implementations are stateless descriptors; the
+// per-thread sampling state lives in the Sampler they return, so one
+// Distribution value can be shared by every generation thread and by
+// concurrent Generate calls.
+type Distribution interface {
+	// Name returns the distribution's flag name ("uniform", "zipfian",
+	// "latest").
+	Name() string
+	// NewSampler returns a fresh sampler over the initially loaded
+	// population [0, loadN), drawing randomness only from rng (the
+	// per-thread deterministic source).
+	NewSampler(loadN int, rng *rand.Rand) Sampler
+}
+
+// Sampler is per-thread sampling state. Next returns the identifier of
+// a key guaranteed to be inserted by the time the operation executes:
+// a member of the loaded population, or an earlier insert from the
+// same thread's stream (announced via NoteInsert). Samplers are not
+// safe for concurrent use; each generation thread owns one.
+type Sampler interface {
+	// Next returns the target identifier for one read-like operation.
+	Next() uint64
+	// NoteInsert records that the owning thread's stream has appended
+	// an insert of id, growing the population visible to later ops.
+	NoteInsert(id uint64)
+}
+
+// Uniform draws uniformly from the loaded population [0, loadN) — the
+// paper's §7 setup and the generator's default. Its sampler consumes
+// exactly one rng value per call, which keeps plans bit-identical to
+// the pre-distribution-engine generator (regression-tested).
+type Uniform struct{}
+
+// Name returns "uniform".
+func (Uniform) Name() string { return "uniform" }
+
+// NewSampler returns the uniform sampler.
+func (Uniform) NewSampler(loadN int, rng *rand.Rand) Sampler {
+	return &uniformSampler{n: int64(max(loadN, 1)), rng: rng}
+}
+
+type uniformSampler struct {
+	n   int64
+	rng *rand.Rand
+}
+
+func (s *uniformSampler) Next() uint64      { return uint64(s.rng.Int63n(s.n)) }
+func (s *uniformSampler) NoteInsert(uint64) {}
+
+// Zipfian draws from the loaded population with the YCSB zipfian
+// distribution (Gray et al., "Quickly Generating Billion-Record
+// Synthetic Databases", SIGMOD '94): rank r is hit with probability
+// proportional to 1/(r+1)^Theta. Identifier 0 is the hottest rank;
+// keys.Mix64 scatters identifiers over the key space, so the hot
+// ranks land on arbitrary keys (and, under the sharded front-end's
+// hash partitioner, on arbitrary shards). Theta must be in (0, 1);
+// YCSB's default is 0.99. The required zeta(n, Theta) normaliser is
+// precomputed once per (n, Theta) and memoized process-wide, so
+// per-thread samplers and repeated benchmark generations don't redo
+// the O(n) sum.
+type Zipfian struct {
+	// Theta is the skew parameter in (0, 1): 0 → uniform-like,
+	// 0.99 → YCSB's default hot-spot skew.
+	Theta float64
+}
+
+// Name returns "zipfian".
+func (Zipfian) Name() string { return "zipfian" }
+
+// NewSampler returns a Gray et al. sampler over [0, loadN).
+func (z Zipfian) NewSampler(loadN int, rng *rand.Rand) Sampler {
+	core := newZipfCore(z.theta())
+	n := uint64(max(loadN, 1))
+	zetan := zeta(int(n), core.theta)
+	return &zipfSampler{
+		zipfCore: core,
+		n:        n,
+		zetan:    zetan,
+		eta:      core.eta(n, zetan),
+		rng:      rng,
+	}
+}
+
+func (z Zipfian) theta() float64 {
+	if z.Theta <= 0 || z.Theta >= 1 {
+		panic(fmt.Sprintf("ycsb: Zipfian theta %v outside (0, 1)", z.Theta))
+	}
+	return z.Theta
+}
+
+// zipfCore holds the per-sampler constants of the Gray et al.
+// inversion, precomputed once at construction so Next never touches
+// the process-wide zeta cache (and its mutex) or recomputes pows that
+// do not change: alpha = 1/(1-theta), and halfPow = 2^-theta, which is
+// both the rank-1 threshold and zeta(2,theta)-1.
+type zipfCore struct {
+	theta, alpha, halfPow float64
+}
+
+func newZipfCore(theta float64) zipfCore {
+	return zipfCore{theta: theta, alpha: 1 / (1 - theta), halfPow: math.Pow(0.5, theta)}
+}
+
+// eta returns the Gray et al. tail coefficient for population n with
+// normaliser zetan — constant for a fixed population, recomputed by
+// the latest sampler as its population grows.
+func (c zipfCore) eta(n uint64, zetan float64) float64 {
+	return (1 - math.Pow(2/float64(n), 1-c.theta)) / (1 - (1+c.halfPow)/zetan)
+}
+
+// rank maps one uniform variate u to a zipfian rank in [0, n): one
+// multiply, two comparisons for the two hottest ranks, one pow for the
+// tail.
+func (c zipfCore) rank(u float64, n uint64, zetan, eta float64) uint64 {
+	if n <= 1 {
+		return 0
+	}
+	uz := u * zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+c.halfPow {
+		return 1
+	}
+	r := uint64(float64(n) * math.Pow(eta*u-eta+1, c.alpha))
+	if r >= n {
+		r = n - 1
+	}
+	return r
+}
+
+// zipfSampler draws over a fixed population: every coefficient is
+// precomputed, so Next is one rng draw plus at most one pow.
+type zipfSampler struct {
+	zipfCore
+	n     uint64
+	zetan float64
+	eta   float64
+	rng   *rand.Rand
+}
+
+func (s *zipfSampler) Next() uint64 {
+	return s.rank(s.rng.Float64(), s.n, s.zetan, s.eta)
+}
+
+func (s *zipfSampler) NoteInsert(uint64) {}
+
+// zetaCache memoizes zeta(n, theta) = Σ_{i=1..n} i^-theta, the O(n)
+// normaliser every zipfian sampler needs. Keyed by (n, theta): plans
+// of the same shape across threads, runs and benchmarks share one
+// computation.
+var zetaCache struct {
+	sync.Mutex
+	m map[zetaKey]float64
+}
+
+type zetaKey struct {
+	n     int
+	theta float64
+}
+
+func zeta(n int, theta float64) float64 {
+	if n < 1 {
+		return 0
+	}
+	zetaCache.Lock()
+	defer zetaCache.Unlock()
+	if zetaCache.m == nil {
+		zetaCache.m = make(map[zetaKey]float64)
+	}
+	k := zetaKey{n, theta}
+	if z, ok := zetaCache.m[k]; ok {
+		return z
+	}
+	z := 0.0
+	for i := 1; i <= n; i++ {
+		z += math.Pow(float64(i), -theta)
+	}
+	zetaCache.m[k] = z
+	return z
+}
+
+// Latest is YCSB's read-latest distribution (workload D): zipfian over
+// recency rank, so the most recently inserted keys are the hottest.
+// Rank 0 is the newest key the sampling thread is guaranteed to find
+// inserted: its own most recent insert if it has made one, otherwise
+// the last loaded key. Because plans are materialised statically per
+// thread, the frontier each thread tracks is the part of the insert
+// stream whose ordering is certain at execution time — the loaded
+// population plus the thread's own earlier inserts — which is exactly
+// the guarantee TestLatestNeverEmitsUninserted pins: Latest never
+// emits an identifier that could still be un-inserted when the
+// operation runs.
+type Latest struct {
+	// Theta is the recency skew in (0, 1); YCSB uses the zipfian
+	// default 0.99.
+	Theta float64
+}
+
+// Name returns "latest".
+func (Latest) Name() string { return "latest" }
+
+// NewSampler returns a read-latest sampler whose population starts at
+// [0, loadN) and grows with the owning thread's inserts.
+func (l Latest) NewSampler(loadN int, rng *rand.Rand) Sampler {
+	core := newZipfCore(Zipfian{Theta: l.Theta}.theta())
+	return &latestSampler{
+		zipfCore: core,
+		loadN:    uint64(loadN),
+		n:        uint64(loadN),
+		zetan:    zeta(loadN, core.theta),
+		rng:      rng,
+	}
+}
+
+// latestSampler tracks the moving insert frontier: n is the current
+// population (loadN + own inserts), zetan is maintained incrementally
+// as the population grows (zeta(n) = zeta(n-1) + n^-theta), so
+// NoteInsert is O(1) instead of an O(n) recompute per insert. The
+// population changes between draws, so eta is rederived per Next (one
+// pow from the precomputed core constants — no zeta-cache access).
+type latestSampler struct {
+	zipfCore
+	loadN uint64 // initially loaded population size
+	base  uint64 // first own-inserted identifier
+	own   uint64 // own inserts so far
+	n     uint64 // loadN + own
+	zetan float64
+	rng   *rand.Rand
+}
+
+func (s *latestSampler) Next() uint64 {
+	if s.n == 0 {
+		return 0
+	}
+	r := s.rank(s.rng.Float64(), s.n, s.zetan, s.eta(s.n, s.zetan))
+	// Recency rank → identifier: the thread's own inserts are newest
+	// (most recent first), then the loaded population (highest id
+	// first, matching load order).
+	if r < s.own {
+		return s.base + (s.own - 1 - r)
+	}
+	return s.loadN - 1 - (r - s.own)
+}
+
+func (s *latestSampler) NoteInsert(id uint64) {
+	if s.own == 0 {
+		s.base = id
+	}
+	s.own++
+	s.n++
+	s.zetan += math.Pow(float64(s.n), -s.theta)
+}
+
+// DistributionByName returns the named distribution ("uniform",
+// "zipfian", "latest"); theta parameterises the skewed ones and is
+// ignored for uniform. Out-of-range theta is rejected here, as an
+// error, so flag parsing fails cleanly instead of the sampler
+// panicking mid-run.
+func DistributionByName(name string, theta float64) (Distribution, error) {
+	switch name {
+	case "uniform":
+		return Uniform{}, nil
+	case "zipfian", "latest":
+		if theta <= 0 || theta >= 1 {
+			return nil, fmt.Errorf("ycsb: %s theta %v outside (0, 1)", name, theta)
+		}
+		if name == "latest" {
+			return Latest{Theta: theta}, nil
+		}
+		return Zipfian{Theta: theta}, nil
+	default:
+		return nil, fmt.Errorf("ycsb: unknown distribution %q (want uniform, zipfian or latest)", name)
+	}
+}

@@ -102,16 +102,63 @@ type KeyGenerator = keys.Generator
 // NewKeyGenerator returns a generator for kind.
 func NewKeyGenerator(kind KeyKind) *KeyGenerator { return keys.NewGenerator(kind) }
 
-// Workload is one of the YCSB patterns of Table 3.
+// Workload is one of the YCSB patterns: Table 3's rows plus the
+// beyond-the-paper D and F.
 type Workload = ycsb.Workload
 
-// Workloads returns the evaluated YCSB workloads in Table 3 order:
-// Load A, A, B, C, E.
+// Workloads returns the workloads the paper evaluates, in Table 3
+// order: Load A, A, B, C, E.
 func Workloads() []Workload { return append([]Workload(nil), ycsb.All...) }
 
+// ExtendedWorkloads returns every workload including the
+// update-bearing D (read-latest) and F (read-modify-write, zipfian)
+// the paper skipped, in YCSB letter order.
+func ExtendedWorkloads() []Workload { return append([]Workload(nil), ycsb.Extended...) }
+
 // WorkloadByName returns the named workload ("Load A", "A", "B", "C",
-// "E").
+// "D", "E", "F").
 func WorkloadByName(name string) (Workload, error) { return ycsb.ByName(name) }
+
+// OpKind is a YCSB operation type (insert, read, scan, update, RMW);
+// per-kind arrays such as Result.Counts are indexed by it.
+type OpKind = ycsb.OpKind
+
+// The operation kinds, and the size of per-kind arrays.
+const (
+	OpInsert   = ycsb.OpInsert
+	OpRead     = ycsb.OpRead
+	OpScan     = ycsb.OpScan
+	OpUpdate   = ycsb.OpUpdate
+	OpRMW      = ycsb.OpRMW
+	NumOpKinds = ycsb.NumOpKinds
+)
+
+// Distribution selects which already-inserted key each read-like
+// operation (read, update, RMW, scan start) targets: Uniform (the
+// paper's setup and the default), Zipfian, or Latest. Set it on
+// Workload.Dist, or pass names through DistributionByName.
+type Distribution = ycsb.Distribution
+
+// Uniform draws read-like targets uniformly from the loaded
+// population — the paper's §7 setup and the bit-compatible default.
+type Uniform = ycsb.Uniform
+
+// Zipfian draws with YCSB's zipfian skew (Gray et al. sampler);
+// Theta in (0, 1), hottest rank first.
+type Zipfian = ycsb.Zipfian
+
+// Latest is YCSB's read-latest distribution (workload D): zipfian
+// over recency, hottest on the most recently inserted keys.
+type Latest = ycsb.Latest
+
+// DefaultTheta is the YCSB default skew (0.99) for Zipfian and Latest.
+const DefaultTheta = ycsb.DefaultTheta
+
+// DistributionByName returns the named distribution ("uniform",
+// "zipfian", "latest") with the given theta (ignored for uniform).
+func DistributionByName(name string, theta float64) (Distribution, error) {
+	return ycsb.DistributionByName(name, theta)
+}
 
 // Result is one (index, workload) measurement with throughput and
 // per-operation counters.
@@ -132,6 +179,27 @@ func RunOrderedWorkload(name string, idx OrderedIndex, gen *KeyGenerator, stats 
 // RunHashWorkload is RunOrderedWorkload for unordered indexes.
 func RunHashWorkload(name string, idx HashIndex, gen *KeyGenerator, stats StatsSource, w Workload, loadN, opN, threads int, seed int64) (Result, error) {
 	return harness.RunHash(name, idx, gen, stats, w, loadN, opN, threads, seed)
+}
+
+// Attribution is the exact per-op-kind counter breakdown of a
+// single-threaded attribution pass: clwb/fence per update vs per
+// insert, conserving bit-exactly against the aggregate delta.
+type Attribution = harness.Attribution
+
+// KindStats is one op kind's share of an Attribution.
+type KindStats = harness.KindStats
+
+// AttributeOrderedWorkload loads loadN keys and executes opN
+// operations of w single-threaded, charging every counter delta to
+// the operation kind that caused it.
+func AttributeOrderedWorkload(idx OrderedIndex, gen *KeyGenerator, stats StatsSource, w Workload, loadN, opN int, seed int64) (Attribution, error) {
+	return harness.AttributeOrdered(idx, gen, stats, w, loadN, opN, seed)
+}
+
+// AttributeHashWorkload is AttributeOrderedWorkload for unordered
+// indexes.
+func AttributeHashWorkload(idx HashIndex, gen *KeyGenerator, stats StatsSource, w Workload, loadN, opN int, seed int64) (Attribution, error) {
+	return harness.AttributeHash(idx, gen, stats, w, loadN, opN, seed)
 }
 
 // ShardedOrdered is a sharded ordered index: the key space is
@@ -260,5 +328,7 @@ func Table1() string { return core.Table1() }
 // Table2 renders the paper's Table 2 (conversion actions).
 func Table2() string { return core.Table2() }
 
-// Table3 renders the paper's Table 3 (YCSB workload patterns).
+// Table3 renders the paper's Table 3 (YCSB workload patterns),
+// extended with the beyond-the-paper D and F rows and each row's
+// default request distribution.
 func Table3() string { return ycsb.Describe() }

@@ -43,6 +43,8 @@ func (m *memIndex) Insert(key []byte, value uint64) error {
 	return nil
 }
 
+func (m *memIndex) Update(key []byte, value uint64) error { return m.Insert(key, value) }
+
 func (m *memIndex) Lookup(key []byte) (uint64, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()

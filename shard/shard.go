@@ -245,6 +245,12 @@ func (m *Ordered) Insert(key []byte, value uint64) error {
 	return m.route(key).idx.Insert(key, value)
 }
 
+// Update overwrites the value under key in place in the owning shard
+// (the index's upsert path; see core.OrderedIndex.Update).
+func (m *Ordered) Update(key []byte, value uint64) error {
+	return m.route(key).idx.Update(key, value)
+}
+
 // Lookup returns the value stored under key.
 func (m *Ordered) Lookup(key []byte) (uint64, bool) {
 	return m.route(key).idx.Lookup(key)
@@ -370,6 +376,9 @@ func (m *Hash) route(key uint64) *shardOf[core.HashIndex] {
 
 // Insert stores value under key in the owning shard.
 func (m *Hash) Insert(key, value uint64) error { return m.route(key).idx.Insert(key, value) }
+
+// Update overwrites the value under key in place in the owning shard.
+func (m *Hash) Update(key, value uint64) error { return m.route(key).idx.Update(key, value) }
 
 // Lookup returns the value stored under key.
 func (m *Hash) Lookup(key uint64) (uint64, bool) { return m.route(key).idx.Lookup(key) }

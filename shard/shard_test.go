@@ -391,6 +391,61 @@ func TestHashFrontEnd(t *testing.T) {
 	}
 }
 
+// TestShardedUpdateRoutes: Update routes to the owning shard (same
+// shard as the original insert), rewrites in place, and leaves the
+// cross-shard Len unchanged.
+func TestShardedUpdateRoutes(t *testing.T) {
+	m, err := NewOrdered("P-ART", keys.RandInt, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	gen := keys.NewGenerator(keys.RandInt)
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		if err := m.Insert(gen.Key(i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := m.Update(gen.Key(i), i+7_000_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != n {
+		t.Fatalf("updates grew cross-shard Len to %d, want %d", m.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := m.Lookup(gen.Key(i)); !ok || v != i+7_000_000 {
+			t.Fatalf("lookup %d after update = %d,%v", i, v, ok)
+		}
+	}
+
+	h, err := NewHash("P-CLHT", Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	for i := uint64(1); i <= n; i++ {
+		if err := h.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= n; i++ {
+		if err := h.Update(i, i+7_000_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Len() != n {
+		t.Fatalf("hash updates grew cross-shard Len to %d, want %d", h.Len(), n)
+	}
+	for i := uint64(1); i <= n; i++ {
+		if v, ok := h.Lookup(i); !ok || v != i+7_000_000 {
+			t.Fatalf("hash lookup %d after update = %d,%v", i, v, ok)
+		}
+	}
+}
+
 // TestNewOrderedUnknownName surfaces the registry error with the shard
 // index attached.
 func TestNewOrderedUnknownName(t *testing.T) {
