@@ -97,6 +97,22 @@ func main() {
 		fmt.Println("  " + rep.String())
 	}
 
+	fmt.Println("\nLossy power-failure images (crash at every site, power-cycle, recover, verify;")
+	fmt.Println("PARTIAL = unacked in-flight op vanished atomically, LOST-ACK/CORRUPT = real bug):")
+	for _, policy := range pmem.Policies {
+		for _, name := range []string{"P-ART", "P-Masstree"} {
+			name := name
+			rep := harness.LossyCampaignOrdered(name, func(h *pmem.Heap) core.OrderedIndex {
+				idx, err := core.NewOrdered(name, h, keys.RandInt)
+				if err != nil {
+					panic(err)
+				}
+				return idx
+			}, keys.RandInt, policy, 42, 500, 50, 0)
+			fmt.Println("  " + rep.String())
+		}
+	}
+
 	fmt.Println("\nPublished-bug reproductions (FAIL expected — §3/§7.5 findings):")
 	cf := harness.CrashCampaignHash("CCEH-faithful", func(h *pmem.Heap) core.HashIndex {
 		return ccehFaithful(h)

@@ -11,11 +11,20 @@
 // everything they dirty. The per-site trials are independent Track-mode
 // heaps, so they fan out across -workers goroutines; the report is
 // collected in site order and is identical for any worker count.
+//
+// -model lossy switches to the adversarial power-failure campaign: at
+// every crash site the heap materialises a true post-power-loss image
+// (stores never written back revert; unfenced write-backs follow
+// -policy: revert, keep, torn, or all three), then recovery runs
+// against that image and a full-dataset readback classifies each site
+// CLEAN, PARTIAL (unacknowledged in-flight op vanished), LOST-ACK
+// (acknowledged write missing — a real durability bug), or CORRUPT.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/cceh"
 	"repro/internal/core"
@@ -30,7 +39,20 @@ func main() {
 	sites := flag.Bool("sites", true, "also run the per-crash-site durability campaign")
 	postOps := flag.Int("postops", 2000, "traced post-crash inserts per crash site")
 	workers := flag.Int("workers", 0, "worker goroutines for the per-site campaign (0 = GOMAXPROCS)")
+	model := flag.String("model", "tracker", "failure model: tracker (flush-coverage) or lossy (power-failure images)")
+	policyFlag := flag.String("policy", "all", "lossy cycle policy for unfenced write-backs: revert, keep, torn, or all")
+	seed := flag.Int64("seed", 42, "campaign seed (lossy model; torn coin flips derive from it)")
 	flag.Parse()
+
+	switch *model {
+	case "tracker":
+	case "lossy":
+		runLossy(*policyFlag, *seed, *n, *postOps, *workers)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -model %q (want tracker or lossy)\n", *model)
+		os.Exit(2)
+	}
 
 	fmt.Printf("=== §5 durability test: %d traced inserts per index ===\n\n", *n)
 	for _, name := range []string{"P-ART", "P-HOT", "P-BwTree", "P-Masstree", "FAST & FAIR", "WOART"} {
@@ -92,6 +114,74 @@ func main() {
 		}, *n, *postOps, *workers)
 		printSites(rep)
 	}
+}
+
+// runLossy drives every index through the lossy power-failure campaign
+// under the selected policies, then replays the Faithful FAST & FAIR
+// mode as a negative control: its missing initial-allocation persist
+// must surface as LOST-ACK/CORRUPT under the revert policy.
+func runLossy(policyFlag string, seed int64, loadN, postN, workers int) {
+	var policies []pmem.Policy
+	if policyFlag == "all" {
+		policies = pmem.Policies
+	} else {
+		p, err := pmem.ParsePolicy(policyFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		policies = []pmem.Policy{p}
+	}
+
+	fmt.Printf("=== lossy power-failure campaign: crash at every site, power-cycle, recover, verify (seed %d) ===\n\n", seed)
+	failed := false
+	for _, policy := range policies {
+		for _, name := range []string{"P-ART", "P-HOT", "P-BwTree", "P-Masstree", "FAST & FAIR", "WOART"} {
+			name := name
+			rep := harness.LossyCampaignOrdered(name, func(h *pmem.Heap) core.OrderedIndex {
+				idx, err := core.NewOrdered(name, h, keys.RandInt)
+				if err != nil {
+					panic(err)
+				}
+				return idx
+			}, keys.RandInt, policy, seed, loadN, postN, workers)
+			failed = printLossy(rep) || failed
+		}
+		for _, name := range []string{"P-CLHT", "CCEH", "Level Hashing"} {
+			name := name
+			rep := harness.LossyCampaignHash(name, func(h *pmem.Heap) core.HashIndex {
+				idx, err := core.NewHash(name, h)
+				if err != nil {
+					panic(err)
+				}
+				return idx
+			}, policy, seed, loadN, postN, workers)
+			failed = printLossy(rep) || failed
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Faithful mode under revert (FAIL expected — the unpersisted allocation becomes observable loss):")
+	rep := harness.LossyCampaignOrdered("FF-faithful", func(h *pmem.Heap) core.OrderedIndex {
+		return ffAdapter{fastfair.NewWithMode(h, keys.RandInt, fastfair.Faithful)}
+	}, keys.RandInt, pmem.PolicyRevert, seed, loadN, postN, workers)
+	printLossy(rep)
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// printLossy prints the campaign summary plus one row per losing site,
+// and reports whether the campaign found real loss.
+func printLossy(rep harness.LossyCampaignReport) bool {
+	fmt.Println(rep.String())
+	for _, s := range rep.Sites {
+		if s.Outcome == harness.OutcomeLostAck || s.Outcome == harness.OutcomeCorrupt {
+			fmt.Printf("    %-28s %v lostAcks=%d %s\n", s.Site, s.Outcome, s.LostAcks, s.Detail)
+		}
+	}
+	return !rep.Pass()
 }
 
 // printSites prints the campaign summary, with per-site rows only for

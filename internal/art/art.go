@@ -281,6 +281,7 @@ type Index struct {
 func New(heap *pmem.Heap) *Index {
 	idx := &Index{heap: heap}
 	idx.rootPM = heap.Alloc(64)
+	heap.Shadow(idx.rootPM, &idx.root)
 	// RECIPE: persist the root line at creation.
 	heap.PersistFence(idx.rootPM, 0, 64)
 	return idx
@@ -294,25 +295,27 @@ func (idx *Index) newLeaf(key []byte, value uint64) *leaf {
 	l.kind = kLeaf
 	l.value.Store(value)
 	l.pm = idx.heap.Alloc(uintptr(leafHdrBytes + len(key)))
+	idx.heap.Shadow(l.pm, l)
 	return l
 }
 
 func (idx *Index) allocNode(k kind, level uint32, prefix []byte) *header {
 	var h *header
 	var size uintptr
+	var concrete any // the full node, for shadow registration
 	switch k {
 	case kNode4:
 		n := &node4{}
-		h, size = &n.header, node4Bytes
+		h, size, concrete = &n.header, node4Bytes, n
 	case kNode16:
 		n := &node16{}
-		h, size = &n.header, node16Bytes
+		h, size, concrete = &n.header, node16Bytes, n
 	case kNode48:
 		n := &node48{}
-		h, size = &n.header, node48Bytes
+		h, size, concrete = &n.header, node48Bytes, n
 	case kNode256:
 		n := &node256{}
-		h, size = &n.header, node256Bytes
+		h, size, concrete = &n.header, node256Bytes, n
 	default:
 		panic("art: bad node kind")
 	}
@@ -320,6 +323,7 @@ func (idx *Index) allocNode(k kind, level uint32, prefix []byte) *header {
 	h.level = level
 	h.prefix.Store(packPrefix(prefix))
 	h.pm = idx.heap.Alloc(size)
+	idx.heap.Shadow(h.pm, concrete)
 	return h
 }
 

@@ -112,6 +112,7 @@ func New(heap *pmem.Heap) *Index {
 	idx := &Index{heap: heap, FlushSMOLoads: true}
 	idx.mapping = make([]atomic.Pointer[record], MaxPIDs)
 	idx.mapPM = heap.Alloc(MaxPIDs * 8)
+	heap.ShadowSlice(idx.mapPM, idx.mapping, 8)
 	// RECIPE: the zero-initialised mapping table is persisted once at
 	// pool creation (the unpersisted-initial-allocation class of bug §7.5
 	// reports in FAST & FAIR and CCEH).
@@ -121,6 +122,7 @@ func New(heap *pmem.Heap) *Index {
 	idx.rootPID = idx.allocPID()
 	base := &record{kind: kBaseLeaf}
 	base.pm = heap.Alloc(64)
+	heap.Shadow(base.pm, base)
 	heap.Persist(base.pm, 0, 64)
 	heap.Fence()
 	idx.mapping[idx.rootPID].Store(base)
@@ -159,6 +161,7 @@ func (idx *Index) newDelta(kind recKind, key []byte, val uint64, right uint64, n
 		r.depth = next.depth + 1
 	}
 	r.pm = idx.heap.Alloc(uintptr(32 + len(key)))
+	idx.heap.Shadow(r.pm, r)
 	// RECIPE: persist the delta record before the CAS that publishes it.
 	idx.heap.Persist(r.pm, 0, uintptr(32+len(key)))
 	idx.heap.Fence()
@@ -172,6 +175,7 @@ func (idx *Index) persistBase(r *record) {
 		size += uintptr(len(k)) + 16
 	}
 	r.pm = idx.heap.Alloc(size)
+	idx.heap.Shadow(r.pm, r)
 	idx.heap.Persist(r.pm, 0, size)
 	idx.heap.Fence()
 }

@@ -108,9 +108,11 @@ func New(heap *pmem.Heap) *Index { return NewWithMode(heap, Fixed) }
 func NewWithMode(heap *pmem.Heap, mode Mode) *Index {
 	idx := &Index{heap: heap, mode: mode}
 	idx.rootPM = heap.Alloc(64)
+	heap.Shadow(idx.rootPM, &idx.dir)
 	d := &directory{depth: DefaultDepth}
 	d.entries = make([]atomic.Pointer[segment], 1<<DefaultDepth)
 	d.pm = heap.Alloc(uintptr(len(d.entries)) * 8)
+	heap.ShadowSlice(d.pm, d.entries, 8)
 	for i := range d.entries {
 		s := idx.newSegment(DefaultDepth, uint64(i))
 		d.entries[i].Store(s)
@@ -129,6 +131,7 @@ func NewWithMode(heap *pmem.Heap, mode Mode) *Index {
 func (idx *Index) newSegment(depth uint32, pattern uint64) *segment {
 	s := &segment{}
 	s.pm = idx.heap.Alloc(segmentBytes)
+	idx.heap.Shadow(s.pm, s)
 	s.localDepth.Store(depth)
 	s.pattern.Store(pattern)
 	idx.heap.Persist(s.pm, 0, segmentBytes)
@@ -401,6 +404,7 @@ func (idx *Index) doubleDirectory(cur dirIndexState) {
 	nd := &directory{depth: old.depth + 1}
 	nd.entries = make([]atomic.Pointer[segment], len(old.entries)*2)
 	nd.pm = idx.heap.Alloc(uintptr(len(nd.entries)) * 8)
+	idx.heap.ShadowSlice(nd.pm, nd.entries, 8)
 	for i := range old.entries {
 		s := old.entries[i].Load()
 		nd.entries[2*i].Store(s)

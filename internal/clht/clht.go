@@ -109,6 +109,7 @@ func NewWithBuckets(heap *pmem.Heap, n int) *Index {
 	}
 	idx := &Index{heap: heap, maxChain: 2}
 	idx.root = heap.Alloc(64)
+	heap.Shadow(idx.root, &idx.tab)
 	t := idx.newTable(p, 0x5bd1e995)
 	idx.tab.Store(t)
 	// RECIPE: persist the freshly initialised table and the root pointer
@@ -129,6 +130,7 @@ func (idx *Index) newTable(nbuckets int, seed uint64) *table {
 		t.buckets[i].pm = t.pm
 		t.buckets[i].off = uintptr(i) * bucketBytes
 	}
+	idx.heap.ShadowSlice(t.pm, t.buckets, bucketBytes)
 	// Persist the zeroed array; relaxed ordering is fine because the table
 	// only becomes reachable via a later atomic pointer swap (Condition #1
 	// allows reordering of stores preceding the commit store).
@@ -237,6 +239,7 @@ func (idx *Index) insertLocked(head *bucket, key, value uint64) bool {
 	// Append an overflow bucket: initialise it off-path, persist it, then
 	// commit by atomically linking it.
 	nb := &bucket{pm: idx.heap.Alloc(bucketBytes)}
+	idx.heap.Shadow(nb.pm, nb)
 	nb.keys[0].Store(key)
 	nb.vals[0].Store(value)
 	// RECIPE: persist the new bucket before it becomes reachable.
@@ -345,6 +348,7 @@ func (idx *Index) copyInto(t *table, key, value uint64) {
 		nb := b.next.Load()
 		if nb == nil {
 			nb = &bucket{pm: idx.heap.Alloc(bucketBytes)}
+			idx.heap.Shadow(nb.pm, nb)
 			idx.heap.Persist(nb.pm, 0, bucketBytes)
 			b.next.Store(nb)
 		}

@@ -143,6 +143,23 @@ func (in *Injector) arm() bool {
 // Fired reports whether the injector has crashed an operation.
 func (in *Injector) Fired() bool { return in != nil && in.fired.Load() }
 
+// Rearm resets the one-shot trigger and the visit counters so the
+// injector can fire again in a new run phase — a multi-cycle campaign
+// power-cycles, recovers, and then crashes the recovered index a second
+// time. Without Rearm a fired one-shot injector silently never crashes
+// again, which reads as "no crash site reached" instead of "injector
+// spent". Site coverage counts are preserved across Rearm: a site
+// visited before the cycle stays counted. Rearm must not be called
+// concurrently with index operations.
+func (in *Injector) Rearm() {
+	if in == nil {
+		return
+	}
+	in.visits.Store(0)
+	in.siteVisit.Store(0)
+	in.fired.Store(false)
+}
+
 // Visits returns the total number of site visits observed (Nth mode).
 func (in *Injector) Visits() int64 { return in.visits.Load() }
 

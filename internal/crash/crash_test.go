@@ -139,3 +139,53 @@ func TestRecoverRepanicsOnForeignPanic(t *testing.T) {
 	}()
 	_ = run(func() { panic(errors.New("unrelated")) })
 }
+
+// Across repeated power cycles a one-shot injector must (a) never fire a
+// second crash until explicitly rearmed, (b) fire again after Rearm, and
+// (c) keep counting site visits the whole time — a fired injector that
+// stops counting would make sites look unreached in coverage reports.
+func TestRearmAcrossPowerCycles(t *testing.T) {
+	in := NewAtSite("s", 1)
+	if err := run(func() { in.Here("s") }); !IsCrash(err) {
+		t.Fatalf("first cycle did not crash: %v", err)
+	}
+	if !in.Fired() {
+		t.Fatal("Fired() false after crash")
+	}
+	// Spent injector: further visits are counted but never crash.
+	if err := run(func() { in.Here("s"); in.Here("t") }); err != nil {
+		t.Fatalf("spent injector fired a second crash: %v", err)
+	}
+	if s := in.Sites(); s["s"] != 2 || s["t"] != 1 {
+		t.Fatalf("visits uncounted while spent: %v, want s:2 t:1", s)
+	}
+
+	in.Rearm()
+	if in.Fired() {
+		t.Fatal("Fired() still true after Rearm")
+	}
+	// The siteVisit counter restarts: the next visit of "s" is the 1st
+	// again and must crash.
+	if err := run(func() { in.Here("s") }); !IsCrash(err) {
+		t.Fatalf("rearmed injector did not crash: %v", err)
+	}
+	// Coverage accumulated across both cycles.
+	if s := in.Sites(); s["s"] != 3 {
+		t.Fatalf("site counts lost across Rearm: %v, want s:3", s)
+	}
+}
+
+// Rearm also restarts Nth-mode visit counting from zero.
+func TestRearmResetsNthCounting(t *testing.T) {
+	in := NewNth(2)
+	if err := run(func() { in.Here("a"); in.Here("b") }); !IsCrash(err) {
+		t.Fatalf("Nth injector did not crash at visit 2: %v", err)
+	}
+	in.Rearm()
+	if err := run(func() { in.Here("a") }); err != nil {
+		t.Fatalf("crashed at visit 1 after Rearm: %v", err)
+	}
+	if err := run(func() { in.Here("b") }); !IsCrash(err) {
+		t.Fatalf("did not crash at visit 2 after Rearm: %v", err)
+	}
+}

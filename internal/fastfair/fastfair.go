@@ -118,6 +118,7 @@ func New(heap *pmem.Heap, kind keys.Kind) *Tree { return NewWithMode(heap, kind,
 func NewWithMode(heap *pmem.Heap, kind keys.Kind, mode Mode) *Tree {
 	t := &Tree{heap: heap, mode: mode, kind: kind}
 	t.rootPM = heap.Alloc(64)
+	heap.Shadow(t.rootPM, &t.root)
 	r := t.newNode(true, 0)
 	t.root.Store(r)
 	if mode == Fixed {
@@ -132,6 +133,7 @@ func NewWithMode(heap *pmem.Heap, kind keys.Kind, mode Mode) *Tree {
 func (t *Tree) newNode(leaf bool, level int) *node {
 	n := &node{leaf: leaf, level: level}
 	n.pm = t.heap.Alloc(nodeBytes)
+	t.heap.Shadow(n.pm, n)
 	return n
 }
 
@@ -139,6 +141,7 @@ func (t *Tree) newNode(leaf bool, level int) *node {
 func (t *Tree) intern(k []byte) uint64 {
 	r := &krec{b: append([]byte(nil), k...)}
 	r.pm = t.heap.Alloc(uintptr(len(k)))
+	t.heap.Shadow(r.pm, r)
 	t.heap.Persist(r.pm, 0, uintptr(len(k)))
 	t.arenaMu.Lock()
 	t.arena = append(t.arena, r)

@@ -122,6 +122,7 @@ func (t *Tree) Insert(key []byte, value uint64) (err error) {
 	defer recoverCrash(&err)
 	stored := t.encode(key)
 	vr := &vref{v: value, pm: t.heap.Alloc(16)}
+	t.heap.Shadow(vr.pm, vr)
 	// Persist the value record before it becomes reachable.
 	t.heap.Persist(vr.pm, 0, 16)
 	t.heap.Fence()

@@ -1,0 +1,341 @@
+// Adversarial lossy power-failure campaigns: the per-site crash sweep
+// composed with pmem's shadow-mode PowerCycle and a full-dataset
+// readback verifier.
+//
+// The per-site durability campaigns (durability_sites.go) check flush
+// coverage — every dirtied line clwb'd and fenced at operation
+// boundaries — but a crash there still leaves all stores visible, so a
+// missing persist can never surface as data loss. The campaigns here
+// run the stronger faulty-PM model: crash at each discovered site,
+// materialise a true post-power-loss image (Heap.PowerCycle — stores
+// that never reached a clwb+fence are gone, unfenced write-backs follow
+// the policy), recover, and then verify the surviving data against a
+// model map of acknowledged writes. Outcomes per trial:
+//
+//   - CLEAN: every acknowledged write readable with its value, the
+//     in-flight operation either completed or vanished atomically, and
+//     post-cycle writes work.
+//   - PARTIAL: the in-flight (unacknowledged) operation vanished —
+//     acceptable under any failure model, reported for visibility.
+//   - LOST-ACK: an acknowledged write is missing or has the wrong
+//     value — the index acknowledged before its commit was durable, a
+//     real crash-consistency bug.
+//   - CORRUPT: recovery or post-cycle traffic panics or errors, or
+//     readback returns values never written — the image was
+//     unrecoverable.
+//
+// Loads run single-threaded (shadow capture is a single-writer testing
+// mode), and every trial derives its torn-policy coin flips from the
+// campaign seed and the site name, so a campaign is deterministic for a
+// fixed seed regardless of worker count.
+package harness
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/core"
+	"repro/internal/crash"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+)
+
+// LossyOutcome classifies one lossy crash trial, ordered by severity.
+type LossyOutcome int
+
+const (
+	// OutcomeClean: all acknowledged data survived, in-flight op either
+	// completed or was atomically absent, post-cycle traffic clean.
+	OutcomeClean LossyOutcome = iota
+	// OutcomePartial: the unacknowledged in-flight operation vanished.
+	OutcomePartial
+	// OutcomeLostAck: an acknowledged write is missing or wrong.
+	OutcomeLostAck
+	// OutcomeCorrupt: recovery/readback/post-cycle traffic failed.
+	OutcomeCorrupt
+)
+
+func (o LossyOutcome) String() string {
+	switch o {
+	case OutcomeClean:
+		return "CLEAN"
+	case OutcomePartial:
+		return "PARTIAL"
+	case OutcomeLostAck:
+		return "LOST-ACK"
+	case OutcomeCorrupt:
+		return "CORRUPT"
+	default:
+		return fmt.Sprintf("LossyOutcome(%d)", int(o))
+	}
+}
+
+// LossySiteReport is one crash site's row in a lossy campaign.
+type LossySiteReport struct {
+	// Site is the crash-site name.
+	Site string
+	// Fired reports whether the load reached the site and crashed there.
+	Fired bool
+	// Outcome is the trial's worst observation.
+	Outcome LossyOutcome
+	// LostAcks counts acknowledged writes missing after recovery.
+	LostAcks int
+	// Detail describes the first failure (empty for CLEAN/PARTIAL).
+	Detail string
+	// Cycle is the power cycle's damage report.
+	Cycle pmem.CycleReport
+}
+
+// LossyCampaignReport summarises one index × policy lossy campaign.
+type LossyCampaignReport struct {
+	Index  string
+	Policy pmem.Policy
+	// Seed drove every trial's torn coin flips (combined per site).
+	Seed int64
+	// Sites holds one row per discovered crash site, sorted by name.
+	Sites []LossySiteReport
+	// PostOps is the number of post-cycle inserts verified per site.
+	PostOps int
+}
+
+// Fired counts sites whose trial actually crashed.
+func (r LossyCampaignReport) Fired() int {
+	n := 0
+	for _, s := range r.Sites {
+		if s.Fired {
+			n++
+		}
+	}
+	return n
+}
+
+// Count returns the number of trials with the given outcome.
+func (r LossyCampaignReport) Count(o LossyOutcome) int {
+	n := 0
+	for _, s := range r.Sites {
+		if s.Fired && s.Outcome == o {
+			n++
+		}
+	}
+	return n
+}
+
+// Pass reports whether no trial lost acknowledged data or corrupted the
+// index. PARTIAL outcomes are acceptable: the in-flight operation was
+// never acknowledged.
+func (r LossyCampaignReport) Pass() bool {
+	for _, s := range r.Sites {
+		if s.Outcome == OutcomeLostAck || s.Outcome == OutcomeCorrupt {
+			return false
+		}
+	}
+	return true
+}
+
+func (r LossyCampaignReport) String() string {
+	verdict := "PASS"
+	if !r.Pass() {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%-12s policy=%-6s sites=%d fired=%d clean=%d partial=%d lostAck=%d corrupt=%d  %s",
+		r.Index, r.Policy, len(r.Sites), r.Fired(),
+		r.Count(OutcomeClean), r.Count(OutcomePartial), r.Count(OutcomeLostAck), r.Count(OutcomeCorrupt),
+		verdict)
+}
+
+// lossyTrial binds one index instance on one shadow heap.
+type lossyTrial struct {
+	insert    func(id uint64) error
+	lookup    func(id uint64) (uint64, bool)
+	recoverFn func() error
+}
+
+// LossyCampaignOrdered runs the lossy power-failure campaign for an
+// ordered index: discover every crash site a loadN-insert load passes
+// through, then — one trial per site, fanned out over `workers`
+// goroutines (< 1 selects GOMAXPROCS) — crash at that site, power-cycle
+// under the policy, recover, and verify every acknowledged write plus
+// postN post-cycle inserts.
+func LossyCampaignOrdered(name string, factory func(*pmem.Heap) core.OrderedIndex, kind keys.Kind, policy pmem.Policy, seed int64, loadN, postN, workers int) LossyCampaignReport {
+	return lossyCampaign(name, policy, seed, loadN, postN, workers, func(heap *pmem.Heap) lossyTrial {
+		idx := factory(heap)
+		gen := keys.NewGenerator(kind)
+		return lossyTrial{
+			insert:    func(id uint64) error { return idx.Insert(gen.Key(id), id) },
+			lookup:    func(id uint64) (uint64, bool) { return idx.Lookup(gen.Key(id)) },
+			recoverFn: idx.Recover,
+		}
+	})
+}
+
+// LossyCampaignHash is LossyCampaignOrdered for unordered indexes.
+func LossyCampaignHash(name string, factory func(*pmem.Heap) core.HashIndex, policy pmem.Policy, seed int64, loadN, postN, workers int) LossyCampaignReport {
+	return lossyCampaign(name, policy, seed, loadN, postN, workers, func(heap *pmem.Heap) lossyTrial {
+		idx := factory(heap)
+		gen := keys.NewGenerator(keys.RandInt)
+		return lossyTrial{
+			insert:    func(id uint64) error { return idx.Insert(gen.Uint64(id)|1, id) },
+			lookup:    func(id uint64) (uint64, bool) { return idx.Lookup(gen.Uint64(id) | 1) },
+			recoverFn: idx.Recover,
+		}
+	})
+}
+
+func lossyCampaign(name string, policy pmem.Policy, seed int64, loadN, postN, workers int, build func(*pmem.Heap) lossyTrial) LossyCampaignReport {
+	sites := discoverLossySites(loadN, build)
+	rep := LossyCampaignReport{
+		Index: name, Policy: policy, Seed: seed,
+		PostOps: postN, Sites: make([]LossySiteReport, len(sites)),
+	}
+	forEachSite(len(sites), workers, func(i int) {
+		rep.Sites[i] = lossyAtSite(sites[i], policy, siteSeed(seed, sites[i]), loadN, postN, build)
+	})
+	return rep
+}
+
+// discoverLossySites reuses the discovery pass of the durability
+// campaigns over the lossy trial shape.
+func discoverLossySites(loadN int, build func(*pmem.Heap) lossyTrial) []string {
+	return discoverSites(loadN, func(heap *pmem.Heap) siteTrial {
+		t := build(heap)
+		return siteTrial{insert: t.insert, recoverFn: t.recoverFn}
+	})
+}
+
+// siteSeed combines the campaign seed with the site name so each trial
+// gets independent, reproducible torn coin flips.
+func siteSeed(seed int64, site string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(site))
+	return seed ^ int64(h.Sum64())
+}
+
+// guard runs f, converting a panic into an error — a power-cycled image
+// can be arbitrarily damaged, and a recovery or readback that panics is
+// a CORRUPT outcome, not a test crash.
+func guard(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return f()
+}
+
+// lossyAtSite is one trial: load single-threaded with a crash armed at
+// the site's first visit on a Shadow-mode heap, power-cycle under the
+// policy, recover, and verify.
+func lossyAtSite(site string, policy pmem.Policy, seed int64, loadN, postN int, build func(*pmem.Heap) lossyTrial) LossySiteReport {
+	r := LossySiteReport{Site: site}
+	heap := pmem.New(pmem.Options{Shadow: true})
+	defer heap.Release()
+	trial := build(heap)
+	heap.SetInjector(crash.NewAtSite(site, 1))
+
+	committed := make([]uint64, 0, loadN)
+	inflight := int64(-1)
+	for i := 0; i < loadN && !r.Fired; i++ {
+		id := uint64(i)
+		if err := trial.insert(id); err != nil {
+			if crash.IsCrash(err) {
+				r.Fired = true
+				inflight = int64(id)
+			}
+			// Non-crash errors (e.g. bounded-retry stalls) end the load;
+			// only acknowledged inserts join the model.
+			break
+		}
+		committed = append(committed, id)
+	}
+	heap.SetInjector(nil)
+	if !r.Fired {
+		return r
+	}
+
+	// Power loss: materialise the lossy image, then recover it exactly as
+	// a restart would.
+	r.Cycle = heap.PowerCycle(policy, seed)
+	if err := guard(trial.recoverFn); err != nil {
+		r.Outcome, r.Detail = OutcomeCorrupt, fmt.Sprintf("recovery failed: %v", err)
+		return r
+	}
+
+	fail := func(o LossyOutcome, detail string) {
+		if o > r.Outcome {
+			r.Outcome = o
+			r.Detail = detail
+		}
+	}
+
+	// Full-dataset readback against the model: every acknowledged write
+	// must be present with its value.
+	verify := func(phase string) error {
+		return guard(func() error {
+			for _, id := range committed {
+				v, ok := trial.lookup(id)
+				switch {
+				case !ok:
+					r.LostAcks++
+					fail(OutcomeLostAck, fmt.Sprintf("%s: acknowledged id %d missing", phase, id))
+				case v != id:
+					r.LostAcks++
+					fail(OutcomeCorrupt, fmt.Sprintf("%s: id %d read back %d", phase, id, v))
+				}
+			}
+			return nil
+		})
+	}
+	if err := verify("readback"); err != nil {
+		fail(OutcomeCorrupt, fmt.Sprintf("readback %v", err))
+		return r
+	}
+
+	// The in-flight operation may have completed (its commit store made
+	// it out) or vanished (PARTIAL) — but never with a wrong value.
+	if inflight >= 0 {
+		id := uint64(inflight)
+		err := guard(func() error {
+			if v, ok := trial.lookup(id); ok {
+				if v != id {
+					fail(OutcomeCorrupt, fmt.Sprintf("in-flight id %d read back %d", id, v))
+				}
+			} else {
+				fail(OutcomePartial, "")
+			}
+			return nil
+		})
+		if err != nil {
+			fail(OutcomeCorrupt, fmt.Sprintf("in-flight lookup %v", err))
+			return r
+		}
+	}
+
+	// The recovered index must accept and retain new writes.
+	post := make([]uint64, 0, postN)
+	for i := 0; i < postN; i++ {
+		id := uint64(1_000_000 + i)
+		if err := guard(func() error { return trial.insert(id) }); err != nil {
+			fail(OutcomeCorrupt, fmt.Sprintf("post-cycle insert %d: %v", id, err))
+			return r
+		}
+		post = append(post, id)
+	}
+	err := guard(func() error {
+		for _, id := range post {
+			if v, ok := trial.lookup(id); !ok || v != id {
+				fail(OutcomeCorrupt, fmt.Sprintf("post-cycle id %d: ok=%v v=%d", id, ok, v))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fail(OutcomeCorrupt, fmt.Sprintf("post-cycle readback %v", err))
+		return r
+	}
+	// Re-verify the original dataset after the repair traffic: post-cycle
+	// writes must not damage recovered data.
+	if err := verify("post-ops readback"); err != nil {
+		fail(OutcomeCorrupt, fmt.Sprintf("post-ops readback %v", err))
+	}
+	return r
+}

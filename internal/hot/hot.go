@@ -103,6 +103,7 @@ type Index struct {
 func New(heap *pmem.Heap) *Index {
 	idx := &Index{heap: heap}
 	idx.rootPM = heap.Alloc(64)
+	heap.Shadow(idx.rootPM, &idx.root)
 	// RECIPE: persist the root line at creation.
 	heap.PersistFence(idx.rootPM, 0, 64)
 	return idx
@@ -115,6 +116,7 @@ func (idx *Index) Len() int { return int(idx.count.Load()) }
 func (idx *Index) newNode(entries []*entry) *hnode {
 	n := &hnode{entries: entries}
 	n.pm = idx.heap.Alloc(n.bytesSize())
+	idx.heap.Shadow(n.pm, n)
 	// RECIPE: persist the copy-on-write node before it is published.
 	idx.heap.Persist(n.pm, 0, n.bytesSize())
 	return n

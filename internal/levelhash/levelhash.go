@@ -95,6 +95,7 @@ func NewWithBuckets(heap *pmem.Heap, n int) *Index {
 	}
 	idx := &Index{heap: heap}
 	idx.rootPM = heap.Alloc(64)
+	heap.Shadow(idx.rootPM, &idx.tab)
 	t := &table{top: idx.newLevel(p), bottom: idx.newLevel(p / 2)}
 	idx.tab.Store(t)
 	heap.PersistFence(idx.rootPM, 0, 64)
@@ -115,6 +116,7 @@ func (idx *Index) newLevel(n int) *level {
 		l.buckets[i].pm = l.pm
 		l.buckets[i].off = uintptr(i) * bucketBytes
 	}
+	idx.heap.ShadowSlice(l.pm, l.buckets, bucketBytes)
 	idx.heap.Persist(l.pm, 0, uintptr(n)*bucketBytes)
 	return l
 }

@@ -183,6 +183,7 @@ func New(heap *pmem.Heap) *Index {
 func (idx *Index) newLayerRoot() *layerRoot {
 	lr := &layerRoot{}
 	lr.pm = idx.heap.Alloc(64)
+	idx.heap.Shadow(lr.pm, lr)
 	return lr
 }
 
@@ -190,6 +191,7 @@ func (idx *Index) newNode(leaf bool, level int) *node {
 	n := &node{leaf: leaf, level: level}
 	n.perm.Store(uint64(emptyPerm()))
 	n.pm = idx.heap.Alloc(nodeBytes)
+	idx.heap.Shadow(n.pm, n)
 	return n
 }
 

@@ -100,6 +100,7 @@ func (idx *Index) newLeafVal(slice uint64, lc int, value uint64, suffix []byte, 
 		lv.suffix = append([]byte(nil), suffix...)
 	}
 	lv.pm = idx.heap.Alloc(uintptr(40 + len(suffix)))
+	idx.heap.Shadow(lv.pm, lv)
 	// RECIPE: persist the payload before it becomes reachable.
 	idx.heap.Persist(lv.pm, 0, uintptr(40+len(suffix)))
 	idx.heap.Fence()

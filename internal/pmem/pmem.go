@@ -79,6 +79,13 @@ type Options struct {
 	// BenchmarkHeapScaling and `cmd/counters -selftest`; leave it false
 	// for real runs.
 	SharedAtomics bool
+	// Shadow enables lossy power-failure emulation (shadow.go): the heap
+	// keeps typed shadow images of every registered allocation so that
+	// PowerCycle can materialise a true post-power-loss state. Shadow
+	// implies Track — the cycle classifies allocations by the tracker's
+	// dirty/pending line state. Slow; testing only, single writer during
+	// tracked phases.
+	Shadow bool
 }
 
 // Heap is a simulated persistent-memory pool. It is safe for concurrent
@@ -105,6 +112,7 @@ type Heap struct {
 
 	llc        *cachesim.Cache
 	tracker    *Tracker
+	shadow     *shadowState
 	inj        *crash.Injector
 	delayClwb  int
 	delayFence int
@@ -129,8 +137,11 @@ func New(opts Options) *Heap {
 		h.allocs = stripe.NewCounter()
 		h.bytes = stripe.NewCounter()
 	}
-	if opts.Track {
+	if opts.Track || opts.Shadow {
 		h.tracker = newTracker()
+	}
+	if opts.Shadow {
+		h.shadow = newShadowState()
 	}
 	return h
 }
@@ -170,6 +181,19 @@ func newLineAllocator() *stripe.Allocator {
 func (h *Heap) Release() {
 	if h.shared || h.lines == nil {
 		return
+	}
+	// Drop per-heap testing state so nothing stale (dirty/pending lines,
+	// shadow images pinning index nodes) survives into a reused heap slot
+	// or outlives the heap via the pool.
+	if h.tracker != nil {
+		h.tracker.Reset()
+	}
+	if h.shadow != nil {
+		h.shadow.mu.Lock()
+		h.shadow.objs = make(map[uint64]*shadowObj)
+		h.shadow.queue = nil
+		h.shadow.tainted = 0
+		h.shadow.mu.Unlock()
 	}
 	a := h.lines
 	h.lines = nil
@@ -244,6 +268,9 @@ func (h *Heap) Persist(o Obj, off, size uintptr) {
 			h.llc.Access(l)
 		}
 	}
+	if h.shadow != nil {
+		h.shadow.capture(o, off, size, h.tracker)
+	}
 	if h.tracker != nil {
 		h.tracker.flushRange(o, off, size)
 	}
@@ -261,6 +288,9 @@ func (h *Heap) Fence() {
 	}
 	if h.tracker != nil {
 		h.tracker.fence()
+	}
+	if h.shadow != nil {
+		h.shadow.promote()
 	}
 }
 

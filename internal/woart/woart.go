@@ -74,6 +74,9 @@ type Index struct {
 func New(heap *pmem.Heap) *Index {
 	idx := &Index{heap: heap}
 	idx.rootPM = heap.Alloc(64)
+	// Register only the root slot: the Index struct holds a sync.RWMutex,
+	// which must never be captured or restored.
+	heap.Shadow(idx.rootPM, &idx.root)
 	heap.PersistFence(idx.rootPM, 0, 64)
 	return idx
 }
@@ -88,6 +91,7 @@ func (idx *Index) Len() int {
 func (idx *Index) newLeaf(key []byte, value uint64) *leaf {
 	l := &leaf{key: append([]byte(nil), key...), value: value}
 	l.pm = idx.heap.Alloc(uintptr(16 + len(key)))
+	idx.heap.Shadow(l.pm, l)
 	// WOART persists the leaf before linking it.
 	idx.heap.Persist(l.pm, 0, uintptr(16+len(key)))
 	idx.heap.Fence()
@@ -97,6 +101,7 @@ func (idx *Index) newLeaf(key []byte, value uint64) *leaf {
 func (idx *Index) newNode(prefix []byte, depth int) *node {
 	n := &node{prefix: append([]byte(nil), prefix...), depth: depth}
 	n.pm = idx.heap.Alloc(nodeBytes(4))
+	idx.heap.Shadow(n.pm, n)
 	idx.heap.Persist(n.pm, 0, nodeBytes(4))
 	return n
 }

@@ -319,6 +319,77 @@ func DurabilitySitesHash(name string, factory func(*Heap) HashIndex, loadN, post
 	return harness.DurabilitySitesHash(name, factory, loadN, postN, workers)
 }
 
+// CyclePolicy selects the fate of clwb'd-but-unfenced lines when a
+// shadow-mode heap materialises a post-power-loss image (PowerCycle):
+// PolicyRevert drops them, PolicyKeep retains them, PolicyTorn flips a
+// seeded coin per line. Stores never written back always revert.
+type CyclePolicy = pmem.Policy
+
+// The power-cycle policies.
+const (
+	PolicyRevert = pmem.PolicyRevert
+	PolicyKeep   = pmem.PolicyKeep
+	PolicyTorn   = pmem.PolicyTorn
+)
+
+// CyclePolicies returns all policies in severity order.
+func CyclePolicies() []CyclePolicy { return append([]CyclePolicy(nil), pmem.Policies...) }
+
+// ParseCyclePolicy parses "revert", "keep" or "torn".
+func ParseCyclePolicy(s string) (CyclePolicy, error) { return pmem.ParsePolicy(s) }
+
+// CycleReport summarises one Heap.PowerCycle: how many objects were
+// touched and how their lines fared. Requires HeapOptions.Shadow.
+type CycleReport = pmem.CycleReport
+
+// LossyOutcome classifies one crash site of a lossy campaign: Clean,
+// Partial (the unacknowledged in-flight op vanished atomically —
+// acceptable), LostAck (an acknowledged write is missing — a real
+// durability bug), or Corrupt (recovery failed or readback mismatched).
+type LossyOutcome = harness.LossyOutcome
+
+// The lossy site outcomes, in severity order.
+const (
+	OutcomeClean   = harness.OutcomeClean
+	OutcomePartial = harness.OutcomePartial
+	OutcomeLostAck = harness.OutcomeLostAck
+	OutcomeCorrupt = harness.OutcomeCorrupt
+)
+
+// LossyCampaignReport summarises a lossy power-failure campaign: one
+// row per crash site; Pass reports zero LOST-ACK and zero CORRUPT.
+type LossyCampaignReport = harness.LossyCampaignReport
+
+// LossySiteReport is one crash site's row in a LossyCampaignReport.
+type LossySiteReport = harness.LossySiteReport
+
+// LossyCampaignOrdered runs the adversarial power-failure campaign
+// against an ordered index factory: crash at every site the load passes
+// through, materialise a post-power-loss image under policy, recover,
+// and verify the full dataset plus postN post-cycle inserts. Trials are
+// independent shadow-mode heaps fanned out over `workers` goroutines;
+// the report is deterministic for a fixed seed, any worker count.
+func LossyCampaignOrdered(name string, factory func(*Heap) OrderedIndex, kind KeyKind, policy CyclePolicy, seed int64, loadN, postN, workers int) LossyCampaignReport {
+	return harness.LossyCampaignOrdered(name, factory, kind, policy, seed, loadN, postN, workers)
+}
+
+// LossyCampaignHash is LossyCampaignOrdered for unordered indexes.
+func LossyCampaignHash(name string, factory func(*Heap) HashIndex, policy CyclePolicy, seed int64, loadN, postN, workers int) LossyCampaignReport {
+	return harness.LossyCampaignHash(name, factory, policy, seed, loadN, postN, workers)
+}
+
+// ErrShardUnavailable is the sentinel matched by errors.Is for
+// operations routed to a quarantined shard of a sharded front-end: a
+// shard whose recovery failed (or that a verifier reported corrupt) is
+// quarantined and returns this while every other shard keeps serving;
+// RetryShard re-attempts recovery under capped backoff. See the shard
+// package for Quarantine/Quarantined/Degraded/RetryShard.
+var ErrShardUnavailable = shard.ErrShardUnavailable
+
+// ShardUnavailableError carries the quarantined shard's number and the
+// quarantine cause.
+type ShardUnavailableError = shard.ShardUnavailableError
+
 // ErrCrashed is returned by operations interrupted by a simulated crash.
 var ErrCrashed = crash.ErrCrashed
 

@@ -6,11 +6,19 @@ import (
 	"repro/internal/core"
 )
 
-// DefaultScanBatch is the per-shard batch size B used by streaming
+// DefaultScanBatch is the per-shard batch-size cap B used by streaming
 // merged scans and cursors when Options.ScanBatch is unset. A batch is
 // one Scan call against the underlying index, so B trades per-entry
 // resume overhead against the O(shards × B) peak scan memory.
 const DefaultScanBatch = 256
+
+// adaptiveSeed is the first-fill batch size of a shard cursor. Batches
+// grow geometrically (doubling on every full fill) from here up to the
+// configured cap, so a short scan pays for a few entries instead of a
+// full cap-sized batch per shard, while a long scan converges to
+// cap-sized fills after log2(cap/seed) rounds. Caps below the seed are
+// used as-is.
+const adaptiveSeed = 32
 
 // shardCursor is a resumable iterator over one ordered index, built
 // entirely on the index's public Scan(start, count, fn) contract: it
@@ -26,13 +34,14 @@ const DefaultScanBatch = 256
 // until advance moves past the batch's last entry.
 type shardCursor struct {
 	idx   core.OrderedIndex
-	batch int
+	batch int      // next fill's batch size: adaptive, adaptiveSeed → max
+	max   int      // configured batch cap (Options.ScanBatch)
 	arena []byte   // backing bytes for the current batch's keys
 	ends  []int    // ends[i] is the end offset of key i in arena
 	vals  []uint64 // vals[i] is key i's value
 	pos   int      // next entry to hand out
-	// more records that the last fill hit the batch limit, so the index
-	// may hold further keys beyond resume.
+	// more records that the last fill hit the limit of the batch size it
+	// was issued with, so the index may hold further keys beyond resume.
 	more bool
 	// resume is the start key of the next batch: the exclusive successor
 	// of the last key of the current batch.
@@ -40,12 +49,17 @@ type shardCursor struct {
 }
 
 // newShardCursor opens a cursor over idx at start and fetches the first
-// batch. batch values < 1 select DefaultScanBatch.
-func newShardCursor(idx core.OrderedIndex, start []byte, batch int) *shardCursor {
-	if batch < 1 {
-		batch = DefaultScanBatch
+// batch. max is the batch cap; values < 1 select DefaultScanBatch. The
+// first fill uses min(adaptiveSeed, max) and doubles per full fill.
+func newShardCursor(idx core.OrderedIndex, start []byte, max int) *shardCursor {
+	if max < 1 {
+		max = DefaultScanBatch
 	}
-	c := &shardCursor{idx: idx, batch: batch, resume: append([]byte(nil), start...)}
+	batch := adaptiveSeed
+	if batch > max {
+		batch = max
+	}
+	c := &shardCursor{idx: idx, batch: batch, max: max, resume: append([]byte(nil), start...)}
 	c.fill()
 	return c
 }
@@ -55,13 +69,16 @@ func newShardCursor(idx core.OrderedIndex, start []byte, batch int) *shardCursor
 // copied into the arena; the arena itself is reused across batches.
 func (c *shardCursor) fill() {
 	c.arena, c.ends, c.vals, c.pos = c.arena[:0], c.ends[:0], c.vals[:0], 0
-	n := c.idx.Scan(c.resume, c.batch, func(k []byte, v uint64) bool {
+	used := c.batch
+	n := c.idx.Scan(c.resume, used, func(k []byte, v uint64) bool {
 		c.arena = append(c.arena, k...)
 		c.ends = append(c.ends, len(c.arena))
 		c.vals = append(c.vals, v)
 		return true
 	})
-	c.more = n == c.batch
+	// more compares against the batch this fill was issued with, not the
+	// (possibly already grown) next batch size.
+	c.more = n == used
 	if c.more {
 		// Appending a zero byte yields the smallest key strictly greater
 		// than the last one — exclusive resume that cannot skip a key
@@ -69,6 +86,14 @@ func (c *shardCursor) fill() {
 		last := c.key(n - 1)
 		c.resume = append(c.resume[:0], last...)
 		c.resume = append(c.resume, 0)
+		// A full fill means the scan is long: double the next batch, up
+		// to the cap, so steady state pays one Scan per max entries while
+		// buffering stays O(max) per shard.
+		if next := used * 2; next <= c.max {
+			c.batch = next
+		} else {
+			c.batch = c.max
+		}
 	}
 }
 
@@ -186,6 +211,9 @@ func (m *Ordered) Cursor(start []byte) *Cursor {
 		}
 		rest := make([]core.OrderedIndex, 0, len(m.shards)-first)
 		for i := first; i < len(m.shards); i++ {
+			if m.unavailable(i) != nil {
+				continue // degraded: quarantined partition skipped
+			}
 			rest = append(rest, m.shards[i].idx)
 		}
 		return &Cursor{rest: rest, start: append([]byte(nil), start...), batch: m.batch}
@@ -193,10 +221,14 @@ func (m *Ordered) Cursor(start []byte) *Cursor {
 	return m.mergeCursor(start, m.batch)
 }
 
-// mergeCursor opens one cursor per shard and heapifies them by head key.
+// mergeCursor opens one cursor per serving shard and heapifies them by
+// head key; quarantined partitions are skipped (degraded scan).
 func (m *Ordered) mergeCursor(start []byte, batch int) *Cursor {
 	h := make(cursorHeap, 0, len(m.shards))
 	for i := range m.shards {
+		if m.unavailable(i) != nil {
+			continue
+		}
 		if c := newShardCursor(m.shards[i].idx, start, batch); c.valid() {
 			h = append(h, c)
 		}

@@ -449,3 +449,64 @@ func TestScanEmptyAndMissing(t *testing.T) {
 		t.Fatalf("past-the-end scan visited %d", got)
 	}
 }
+
+// TestAdaptiveBatchParityAndSchedule: cursors warm up their batch size
+// geometrically (adaptiveSeed doubling to the cap), which must change
+// only how many Scan calls a long scan makes — never which entries come
+// back. With 1000 keys in one shard and the default cap of 256, the
+// fill sizes are 32, 64, 128, 256, 256, 256, then a final short fill:
+// 7 Scan calls, versus 32 for a fixed seed-sized batch.
+func TestAdaptiveBatchParityAndSchedule(t *testing.T) {
+	const n = 1_000
+	sharded, err := NewOrderedWith(memFactory, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := keys.NewGenerator(keys.RandInt)
+	want := make([]entry, 0, n)
+	for id := uint64(0); id < n; id++ {
+		k := gen.Key(id)
+		if err := sharded.Insert(k, id); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, entry{append([]byte(nil), k...), id})
+	}
+	sort.Slice(want, func(i, j int) bool { return bytes.Compare(want[i].key, want[j].key) < 0 })
+
+	// Parity: the adaptive cursor yields exactly the full ordered set.
+	cur, got := sharded.Cursor(nil), make([]entry, 0, n)
+	for {
+		k, v, ok := cur.Next()
+		if !ok {
+			break
+		}
+		got = append(got, entry{append([]byte(nil), k...), v})
+	}
+	entriesEqual(t, "adaptive cursor", want, got)
+
+	// Schedule: 32+64+128+256+256+256 = 992 full fills + 1 short fill.
+	if scans := sharded.Shard(0).(*memIndex).scans; scans != 7 {
+		t.Fatalf("adaptive cursor made %d Scan calls over %d keys, want 7", scans, n)
+	}
+
+	// A short scan touches only seed-sized batches: 10 entries from a
+	// fresh cursor must cost exactly one 32-entry fill.
+	m2, err := NewOrderedWith(memFactory, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range want {
+		if err := m2.Insert(e.key, e.val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur2 := m2.Cursor(nil)
+	for i := 0; i < 10; i++ {
+		if _, _, ok := cur2.Next(); !ok {
+			t.Fatalf("cursor exhausted at entry %d", i)
+		}
+	}
+	if scans := m2.Shard(0).(*memIndex).scans; scans != 1 {
+		t.Fatalf("10-entry read made %d Scan calls, want 1 seed-sized fill", scans)
+	}
+}

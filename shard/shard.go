@@ -23,7 +23,9 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/keys"
@@ -40,10 +42,13 @@ type Options struct {
 	// Partitioner64 routes uint64 keys (Hash). Nil selects
 	// HashPartition64.
 	Partitioner64 Partitioner64
-	// ScanBatch is the per-shard batch size B for streaming merged scans
-	// and cursors: a scan holds at most B buffered entries per shard, so
-	// peak scan memory is O(Shards × ScanBatch) regardless of scan
-	// length or dataset size. Values < 1 select DefaultScanBatch.
+	// ScanBatch is the per-shard batch-size cap B for streaming merged
+	// scans and cursors: a scan holds at most B buffered entries per
+	// shard, so peak scan memory is O(Shards × ScanBatch) regardless of
+	// scan length or dataset size. Batches warm up adaptively — the
+	// first fill pulls min(32, B) entries and doubles per full fill up
+	// to B — so short scans avoid paying a full cap-sized batch per
+	// shard. Values < 1 select DefaultScanBatch.
 	ScanBatch int
 	// Heap configures every per-shard heap (latency model, tracking,
 	// LLC, shared-atomics ablation). Injectors are not shared: arm a
@@ -83,15 +88,23 @@ type shardOf[IX index] struct {
 
 // frontend is the key-type-independent half of a sharded front-end: the
 // partition array plus everything that iterates it (length, recovery,
-// stats). Ordered and Hash embed it and add routing, point operations,
-// and (for Ordered) the merged Scan.
+// stats, quarantine — see quarantine.go). Ordered and Hash embed it and
+// add routing, point operations, and (for Ordered) the merged Scan.
 type frontend[IX index] struct {
 	shards []shardOf[IX]
+	// health tracks per-shard availability; parallel to shards because
+	// its entries hold locks and must never be copied.
+	health []shardHealth
+	// now overrides the backoff clock in tests; nil selects time.Now.
+	now func() time.Time
 }
 
 // newFrontend builds one (heap, index) pair per shard.
 func newFrontend[IX index](factory func(*pmem.Heap) (IX, error), opts Options) (frontend[IX], error) {
-	f := frontend[IX]{shards: make([]shardOf[IX], opts.shards())}
+	f := frontend[IX]{
+		shards: make([]shardOf[IX], opts.shards()),
+		health: newHealth(opts.shards()),
+	}
 	for i := range f.shards {
 		heap := pmem.New(opts.Heap)
 		idx, err := factory(heap)
@@ -103,10 +116,15 @@ func newFrontend[IX index](factory func(*pmem.Heap) (IX, error), opts Options) (
 	return f, nil
 }
 
-// Len returns the number of live keys across all shards.
+// Len returns the number of live keys across serving shards.
+// Quarantined shards are excluded: their in-memory state is the one
+// recovery rejected, so their counts are not trustworthy.
 func (f *frontend[IX]) Len() int {
 	n := 0
 	for i := range f.shards {
+		if f.health[i].quarantined.Load() {
+			continue
+		}
 		n += f.shards[i].idx.Len()
 	}
 	return n
@@ -123,12 +141,22 @@ func (f *frontend[IX]) Recover() error {
 	return nil
 }
 
-// RecoverShard replays recovery on shard i alone. It must not be called
-// concurrently with index operations.
+// RecoverShard replays recovery on shard i alone. A recovery failure
+// quarantines the shard (see quarantine.go); success takes it out of
+// quarantine. It must not be called concurrently with index operations.
 func (f *frontend[IX]) RecoverShard(i int) error {
 	f.shards[i].recoveries++
 	if err := f.shards[i].idx.Recover(); err != nil {
-		return fmt.Errorf("shard %d: %w", i, err)
+		err = fmt.Errorf("shard %d: %w", i, err)
+		f.Quarantine(i, err)
+		return err
+	}
+	if f.health[i].quarantined.Load() {
+		h := &f.health[i]
+		h.mu.Lock()
+		h.cause, h.retries, h.nextRetry = nil, 0, time.Time{}
+		h.mu.Unlock()
+		h.quarantined.Store(false)
 	}
 	return nil
 }
@@ -136,19 +164,24 @@ func (f *frontend[IX]) RecoverShard(i int) error {
 // RecoverCrashed recovers exactly the shards whose injector fired,
 // clearing each fired injector first, and returns their indices. Shards
 // that did not crash are not replayed — the per-shard recovery
-// invariant. It must not be called concurrently with index operations.
+// invariant. A shard whose recovery fails is quarantined and the sweep
+// continues: the healthy shards come back up, the joined error reports
+// the casualties. It must not be called concurrently with index
+// operations.
 func (f *frontend[IX]) RecoverCrashed() ([]int, error) {
 	var recovered []int
+	var errs []error
 	for i := range f.shards {
 		if inj := f.shards[i].heap.Injector(); inj.Fired() {
 			f.shards[i].heap.SetInjector(nil)
 			if err := f.RecoverShard(i); err != nil {
-				return recovered, err
+				errs = append(errs, err)
+				continue
 			}
 			recovered = append(recovered, i)
 		}
 	}
-	return recovered, nil
+	return recovered, errors.Join(errs...)
 }
 
 // Recoveries returns per-shard recovery replay counts (how many times
@@ -233,32 +266,66 @@ func NewOrderedWith(factory func(*pmem.Heap) (core.OrderedIndex, error), opts Op
 
 // route returns the shard owning key. With one shard no routing is
 // needed, so the H=1 front-end adds no hashing to the operation path.
-func (m *Ordered) route(key []byte) *shardOf[core.OrderedIndex] {
+func (m *Ordered) route(key []byte) int {
 	if len(m.shards) == 1 {
-		return &m.shards[0]
+		return 0
 	}
-	return &m.shards[m.part.Shard(key, len(m.shards))]
+	return m.part.Shard(key, len(m.shards))
 }
 
-// Insert stores value under key in the owning shard.
+// Insert stores value under key in the owning shard. If the owning
+// shard is quarantined it returns *ShardUnavailableError
+// (errors.Is(err, ErrShardUnavailable)); other shards keep serving.
 func (m *Ordered) Insert(key []byte, value uint64) error {
-	return m.route(key).idx.Insert(key, value)
+	i := m.route(key)
+	if err := m.unavailable(i); err != nil {
+		return err
+	}
+	return m.shards[i].idx.Insert(key, value)
 }
 
 // Update overwrites the value under key in place in the owning shard
-// (the index's upsert path; see core.OrderedIndex.Update).
+// (the index's upsert path; see core.OrderedIndex.Update). Quarantined
+// shards return *ShardUnavailableError.
 func (m *Ordered) Update(key []byte, value uint64) error {
-	return m.route(key).idx.Update(key, value)
+	i := m.route(key)
+	if err := m.unavailable(i); err != nil {
+		return err
+	}
+	return m.shards[i].idx.Update(key, value)
 }
 
-// Lookup returns the value stored under key.
+// Lookup returns the value stored under key. The core interface has no
+// error slot, so a key owned by a quarantined shard reads as absent;
+// use LookupChecked to distinguish "absent" from "unavailable".
 func (m *Ordered) Lookup(key []byte) (uint64, bool) {
-	return m.route(key).idx.Lookup(key)
+	v, ok, err := m.LookupChecked(key)
+	if err != nil {
+		return 0, false
+	}
+	return v, ok
 }
 
-// Delete removes key from the owning shard.
+// LookupChecked is Lookup with quarantine visibility: err is
+// *ShardUnavailableError when the owning shard is quarantined, in which
+// case the key's presence is unknown.
+func (m *Ordered) LookupChecked(key []byte) (uint64, bool, error) {
+	i := m.route(key)
+	if err := m.unavailable(i); err != nil {
+		return 0, false, err
+	}
+	v, ok := m.shards[i].idx.Lookup(key)
+	return v, ok, nil
+}
+
+// Delete removes key from the owning shard. Quarantined shards return
+// *ShardUnavailableError.
 func (m *Ordered) Delete(key []byte) (bool, error) {
-	return m.route(key).idx.Delete(key)
+	i := m.route(key)
+	if err := m.unavailable(i); err != nil {
+		return false, err
+	}
+	return m.shards[i].idx.Delete(key)
 }
 
 // Scan visits keys >= start in ascending order across all shards until
@@ -273,8 +340,15 @@ func (m *Ordered) Delete(key []byte) (bool, error) {
 // Options.ScanBatch entries per shard at a time (see Cursor), so peak
 // memory is O(shards × batch) regardless of scan length or dataset
 // size.
+//
+// While a shard is quarantined the scan is degraded: the quarantined
+// partition's keys are skipped (Degraded()/Quarantined() report the
+// gap), and the healthy partitions stream normally.
 func (m *Ordered) Scan(start []byte, count int, fn func(key []byte, value uint64) bool) int {
 	if len(m.shards) == 1 {
+		if m.unavailable(0) != nil {
+			return 0
+		}
 		return m.shards[0].idx.Scan(start, count, fn)
 	}
 	if orderPreserving(m.part) {
@@ -294,6 +368,9 @@ func (m *Ordered) scanSequential(start []byte, count int, fn func(key []byte, va
 	}
 	visited := 0
 	for i := first; i < len(m.shards); i++ {
+		if m.unavailable(i) != nil {
+			continue // degraded: quarantined partition skipped
+		}
 		rem := 0
 		if count > 0 {
 			rem = count - visited
@@ -367,24 +444,63 @@ func NewHashWith(factory func(*pmem.Heap) (core.HashIndex, error), opts Options)
 	return &Hash{part: part, frontend: f}, nil
 }
 
-func (m *Hash) route(key uint64) *shardOf[core.HashIndex] {
+func (m *Hash) route(key uint64) int {
 	if len(m.shards) == 1 {
-		return &m.shards[0]
+		return 0
 	}
-	return &m.shards[m.part.Shard(key, len(m.shards))]
+	return m.part.Shard(key, len(m.shards))
 }
 
-// Insert stores value under key in the owning shard.
-func (m *Hash) Insert(key, value uint64) error { return m.route(key).idx.Insert(key, value) }
+// Insert stores value under key in the owning shard. Quarantined shards
+// return *ShardUnavailableError; other shards keep serving.
+func (m *Hash) Insert(key, value uint64) error {
+	i := m.route(key)
+	if err := m.unavailable(i); err != nil {
+		return err
+	}
+	return m.shards[i].idx.Insert(key, value)
+}
 
 // Update overwrites the value under key in place in the owning shard.
-func (m *Hash) Update(key, value uint64) error { return m.route(key).idx.Update(key, value) }
+// Quarantined shards return *ShardUnavailableError.
+func (m *Hash) Update(key, value uint64) error {
+	i := m.route(key)
+	if err := m.unavailable(i); err != nil {
+		return err
+	}
+	return m.shards[i].idx.Update(key, value)
+}
 
-// Lookup returns the value stored under key.
-func (m *Hash) Lookup(key uint64) (uint64, bool) { return m.route(key).idx.Lookup(key) }
+// Lookup returns the value stored under key. A key owned by a
+// quarantined shard reads as absent; use LookupChecked to distinguish.
+func (m *Hash) Lookup(key uint64) (uint64, bool) {
+	v, ok, err := m.LookupChecked(key)
+	if err != nil {
+		return 0, false
+	}
+	return v, ok
+}
 
-// Delete removes key from the owning shard.
-func (m *Hash) Delete(key uint64) (bool, error) { return m.route(key).idx.Delete(key) }
+// LookupChecked is Lookup with quarantine visibility: err is
+// *ShardUnavailableError when the owning shard is quarantined.
+func (m *Hash) LookupChecked(key uint64) (uint64, bool, error) {
+	i := m.route(key)
+	if err := m.unavailable(i); err != nil {
+		return 0, false, err
+	}
+	v, ok := m.shards[i].idx.Lookup(key)
+	return v, ok, nil
+}
+
+// Delete removes key from the owning shard. Quarantined shards return
+// *ShardUnavailableError.
+func (m *Hash) Delete(key uint64) (bool, error) {
+	i := m.route(key)
+	if err := m.unavailable(i); err != nil {
+		return false, err
+	}
+	return m.shards[i].idx.Delete(key)
+}
 
 // PartitionerName reports the routing policy in use.
 func (m *Hash) PartitionerName() string { return m.part.Name() }
