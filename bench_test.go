@@ -360,6 +360,59 @@ func BenchmarkWorkloadSkew(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchedWrites sweeps the group-commit batch size on the
+// write-heavy workloads A (50/50 insert/read) and F (50/50 read/RMW):
+// per-thread combiners queue up to `batch` writes and commit them as
+// one fence-coalesced group per shard, so the headline metric is
+// fence/op falling as batch grows while batch=1 matches the plain
+// per-op write path. Crash consistency at every batch size is proven
+// by the batched lossy and durability-site campaigns
+// (internal/harness TestBatchedLossyMatrix, TestBatchedDurabilitySites).
+func BenchmarkBatchedWrites(b *testing.B) {
+	for _, w := range []ycsb.Workload{ycsb.A, ycsb.F} {
+		for _, batch := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("P-ART/%s/batch=%d", w.Name, batch), func(b *testing.B) {
+				m, err := recipe.NewShardedOrdered("P-ART", keys.RandInt,
+					recipe.ShardOptions{Heap: pmem.Options{DelayClwb: 40, DelayFence: 20}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer m.Release()
+				gen := keys.NewGenerator(keys.RandInt)
+				res, err := recipe.RunOrderedWorkloadBatched("P-ART", m, gen, w,
+					benchLoadN, b.N, benchThreads, batch, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.MopsPerSec(), "Mops/s")
+				if res.Ops > 0 {
+					b.ReportMetric(float64(res.Stats.Fence)/float64(res.Ops), "fence/op")
+				}
+			})
+		}
+	}
+	for _, batch := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("P-CLHT/A/batch=%d", batch), func(b *testing.B) {
+			m, err := recipe.NewShardedHash("P-CLHT",
+				recipe.ShardOptions{Heap: pmem.Options{DelayClwb: 40, DelayFence: 20}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Release()
+			gen := keys.NewGenerator(keys.RandInt)
+			res, err := recipe.RunHashWorkloadBatched("P-CLHT", m, gen, ycsb.A,
+				benchLoadN, b.N, benchThreads, batch, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.MopsPerSec(), "Mops/s")
+			if res.Ops > 0 {
+				b.ReportMetric(float64(res.Stats.Fence)/float64(res.Ops), "fence/op")
+			}
+		})
+	}
+}
+
 // BenchmarkSec73_WOART: P-ART vs globally locked WOART (§7.3).
 func BenchmarkSec73_WOART(b *testing.B) {
 	for _, name := range []string{"P-ART", "WOART"} {

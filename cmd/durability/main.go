@@ -42,12 +42,17 @@ func main() {
 	model := flag.String("model", "tracker", "failure model: tracker (flush-coverage) or lossy (power-failure images)")
 	policyFlag := flag.String("policy", "all", "lossy cycle policy for unfenced write-backs: revert, keep, torn, or all")
 	seed := flag.Int64("seed", 42, "campaign seed (lossy model; torn coin flips derive from it)")
+	batch := flag.Int("batch", 1, "group-commit batch size for the campaigns' write path (1 = per-op fences; >1 crashes inside fence-coalesced group commits too)")
 	flag.Parse()
+	if *batch < 1 {
+		fmt.Fprintf(os.Stderr, "-batch must be >= 1, got %d\n", *batch)
+		os.Exit(2)
+	}
 
 	switch *model {
 	case "tracker":
 	case "lossy":
-		runLossy(*policyFlag, *seed, *n, *postOps, *workers)
+		runLossy(*policyFlag, *seed, *n, *postOps, *workers, *batch)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -model %q (want tracker or lossy)\n", *model)
@@ -91,27 +96,43 @@ func main() {
 	if !*sites {
 		return
 	}
-	fmt.Printf("\n=== §5 durability across crash sites: crash, recover, %d traced post-crash inserts per site ===\n\n", *postOps)
+	if *batch > 1 {
+		fmt.Printf("\n=== §5 durability across crash sites (batched, group size %d): crash, recover, %d traced post-crash inserts per site ===\n\n", *batch, *postOps)
+	} else {
+		fmt.Printf("\n=== §5 durability across crash sites: crash, recover, %d traced post-crash inserts per site ===\n\n", *postOps)
+	}
 	for _, name := range []string{"P-ART", "P-HOT", "P-BwTree", "P-Masstree", "FAST & FAIR", "WOART"} {
 		name := name
-		rep := harness.DurabilitySitesOrdered(name, func(h *pmem.Heap) core.OrderedIndex {
+		factory := func(h *pmem.Heap) core.OrderedIndex {
 			idx, err := core.NewOrdered(name, h, keys.RandInt)
 			if err != nil {
 				panic(err)
 			}
 			return idx
-		}, keys.RandInt, *n, *postOps, *workers)
+		}
+		var rep harness.SiteCampaignReport
+		if *batch > 1 {
+			rep = harness.DurabilitySitesOrderedBatched(name, factory, keys.RandInt, *n, *postOps, *batch, *workers)
+		} else {
+			rep = harness.DurabilitySitesOrdered(name, factory, keys.RandInt, *n, *postOps, *workers)
+		}
 		printSites(rep)
 	}
 	for _, name := range []string{"P-CLHT", "CCEH", "Level Hashing"} {
 		name := name
-		rep := harness.DurabilitySitesHash(name, func(h *pmem.Heap) core.HashIndex {
+		factory := func(h *pmem.Heap) core.HashIndex {
 			idx, err := core.NewHash(name, h)
 			if err != nil {
 				panic(err)
 			}
 			return idx
-		}, *n, *postOps, *workers)
+		}
+		var rep harness.SiteCampaignReport
+		if *batch > 1 {
+			rep = harness.DurabilitySitesHashBatched(name, factory, *n, *postOps, *batch, *workers)
+		} else {
+			rep = harness.DurabilitySitesHash(name, factory, *n, *postOps, *workers)
+		}
 		printSites(rep)
 	}
 }
@@ -119,8 +140,11 @@ func main() {
 // runLossy drives every index through the lossy power-failure campaign
 // under the selected policies, then replays the Faithful FAST & FAIR
 // mode as a negative control: its missing initial-allocation persist
-// must surface as LOST-ACK/CORRUPT under the revert policy.
-func runLossy(policyFlag string, seed int64, loadN, postN, workers int) {
+// must surface as LOST-ACK/CORRUPT under the revert policy. With
+// batch > 1 the writes go through the group-commit layer, so the sweep
+// also crashes at the group boundary sites and acknowledgement is
+// per batch.
+func runLossy(policyFlag string, seed int64, loadN, postN, workers, batch int) {
 	var policies []pmem.Policy
 	if policyFlag == "all" {
 		policies = pmem.Policies
@@ -133,29 +157,45 @@ func runLossy(policyFlag string, seed int64, loadN, postN, workers int) {
 		policies = []pmem.Policy{p}
 	}
 
-	fmt.Printf("=== lossy power-failure campaign: crash at every site, power-cycle, recover, verify (seed %d) ===\n\n", seed)
+	if batch > 1 {
+		fmt.Printf("=== lossy power-failure campaign (batched, group size %d): crash at every site, power-cycle, recover, verify (seed %d) ===\n\n", batch, seed)
+	} else {
+		fmt.Printf("=== lossy power-failure campaign: crash at every site, power-cycle, recover, verify (seed %d) ===\n\n", seed)
+	}
 	failed := false
 	for _, policy := range policies {
 		for _, name := range []string{"P-ART", "P-HOT", "P-BwTree", "P-Masstree", "FAST & FAIR", "WOART"} {
 			name := name
-			rep := harness.LossyCampaignOrdered(name, func(h *pmem.Heap) core.OrderedIndex {
+			factory := func(h *pmem.Heap) core.OrderedIndex {
 				idx, err := core.NewOrdered(name, h, keys.RandInt)
 				if err != nil {
 					panic(err)
 				}
 				return idx
-			}, keys.RandInt, policy, seed, loadN, postN, workers)
+			}
+			var rep harness.LossyCampaignReport
+			if batch > 1 {
+				rep = harness.LossyCampaignOrderedBatched(name, factory, keys.RandInt, policy, seed, loadN, postN, batch, workers)
+			} else {
+				rep = harness.LossyCampaignOrdered(name, factory, keys.RandInt, policy, seed, loadN, postN, workers)
+			}
 			failed = printLossy(rep) || failed
 		}
 		for _, name := range []string{"P-CLHT", "CCEH", "Level Hashing"} {
 			name := name
-			rep := harness.LossyCampaignHash(name, func(h *pmem.Heap) core.HashIndex {
+			factory := func(h *pmem.Heap) core.HashIndex {
 				idx, err := core.NewHash(name, h)
 				if err != nil {
 					panic(err)
 				}
 				return idx
-			}, policy, seed, loadN, postN, workers)
+			}
+			var rep harness.LossyCampaignReport
+			if batch > 1 {
+				rep = harness.LossyCampaignHashBatched(name, factory, policy, seed, loadN, postN, batch, workers)
+			} else {
+				rep = harness.LossyCampaignHash(name, factory, policy, seed, loadN, postN, workers)
+			}
 			failed = printLossy(rep) || failed
 		}
 		fmt.Println()

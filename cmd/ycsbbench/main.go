@@ -54,6 +54,10 @@ type config struct {
 	shards              int
 	part                shard.Partitioner
 	scanBatch           int
+	// batch > 1 routes writes in -workloads mode through the
+	// group-commit layer: per-thread combiners queue up to batch
+	// writes and flush them as one fence-coalesced group per shard.
+	batch int
 	// dist overrides every workload's request distribution when
 	// non-nil (-dist); nil keeps each workload row's own default
 	// (uniform for the Table 3 rows, latest for D, zipfian for F).
@@ -80,6 +84,7 @@ func main() {
 		shards     = flag.Int("shards", 1, "partitions in the sharded front-end (1 = one heap per cell; -workloads mode also always runs H=1)")
 		partition  = flag.String("partition", "hash", `key partitioner for ordered figures with -shards > 1: "hash" or "range" (hash figures always route by hash)`)
 		scanBatch  = flag.Int("scanbatch", 0, "per-shard batch size for streaming merged scans (0 = default)")
+		batch      = flag.Int("batch", 1, "group-commit batch size for -workloads mode writes (1 = per-op fences; >1 coalesces each batch's trailing fences into one per shard)")
 		workloads  = flag.String("workloads", "", `comma-separated YCSB workloads to run on every index, sharded and unsharded (e.g. "D,F" or "A,B,C,D,E,F"); empty = run -figure instead`)
 		distName   = flag.String("dist", "", `request distribution override: "uniform", "zipfian" or "latest"; empty = each workload's default (uniform; latest for D, zipfian for F)`)
 		theta      = flag.Float64("theta", ycsb.DefaultTheta, "skew parameter in (0,1) for -dist zipfian/latest")
@@ -106,7 +111,15 @@ func main() {
 	cfg := config{
 		loadN: *loadN, opN: *opN, threads: *threads, seed: *seed,
 		heap:   pmem.Options{DelayClwb: *clwbDelay, DelayFence: *fenceDelay},
-		shards: *shards, part: part, scanBatch: *scanBatch, dist: dist,
+		shards: *shards, part: part, scanBatch: *scanBatch, batch: *batch, dist: dist,
+	}
+	if cfg.batch < 1 {
+		fmt.Fprintf(os.Stderr, "-batch must be >= 1, got %d\n", cfg.batch)
+		os.Exit(2)
+	}
+	if cfg.batch > 1 && *workloads == "" {
+		fmt.Fprintln(os.Stderr, "-batch > 1 requires -workloads (the figure runners measure the paper's per-op write path)")
+		os.Exit(2)
 	}
 
 	if *workloads != "" {
@@ -281,8 +294,8 @@ func runWorkloads(list string, cfg config) {
 	if cfg.dist != nil {
 		distNote = cfg.dist.Name()
 	}
-	fmt.Printf("\n=== YCSB workloads %s · dist=%s · %d threads · load %d + run %d · H ∈ {1, %d} ===\n",
-		list, distNote, cfg.threads, cfg.loadN, cfg.opN, sharded)
+	fmt.Printf("\n=== YCSB workloads %s · dist=%s · %d threads · load %d + run %d · H ∈ {1, %d} · batch %d ===\n",
+		list, distNote, cfg.threads, cfg.loadN, cfg.opN, sharded, cfg.batch)
 	orderedNames := append(append([]string{}, core.OrderedNames...), "WOART")
 	for _, base := range wls {
 		w := cfg.workloadFor(base)
@@ -292,7 +305,7 @@ func runWorkloads(list string, cfg config) {
 		}
 		fmt.Printf("\n-- Workload %s · %s · dist=%s · %s --\n", w.Name, w.Description, dist, w.AppPattern)
 		kinds := kindsOf(w)
-		fmt.Printf("%-14s %2s %9s", "Index", "H", "Mops/s")
+		fmt.Printf("%-14s %2s %9s %9s", "Index", "H", "Mops/s", "fence/op")
 		for _, k := range kinds {
 			fmt.Printf(" %12s %12s", "clwb/"+k.String(), "fence/"+k.String())
 		}
@@ -338,7 +351,12 @@ func workloadCellOrdered(name string, w ycsb.Workload, cfg config, kinds []ycsb.
 	gen := keys.NewGenerator(keys.RandInt)
 	before := m.ShardStats()
 	aggBefore := m.Stats()
-	res, err := harness.RunOrdered(name, m, gen, m, w, cfg.loadN, cfg.opN, cfg.threads, cfg.seed)
+	var res harness.Result
+	if cfg.batch > 1 {
+		res, err = harness.RunOrderedBatched(name, m, gen, w, cfg.loadN, cfg.opN, cfg.threads, cfg.batch, cfg.seed)
+	} else {
+		res, err = harness.RunOrdered(name, m, gen, m, w, cfg.loadN, cfg.opN, cfg.threads, cfg.seed)
+	}
 	if err != nil {
 		m.Release()
 		if name == "FAST & FAIR" && strings.Contains(err.Error(), "read id") {
@@ -362,7 +380,12 @@ func workloadCellOrdered(name string, w ycsb.Workload, cfg config, kinds []ycsb.
 		os.Exit(1)
 	}
 	attrLoadN, attrOpN := attrSizes(cfg)
-	attr, err := harness.AttributeOrdered(am, gen, am, w, attrLoadN, attrOpN, cfg.seed+1)
+	var attr harness.Attribution
+	if cfg.batch > 1 {
+		attr, err = harness.AttributeOrderedBatched(am, gen, w, attrLoadN, attrOpN, cfg.batch, cfg.seed+1)
+	} else {
+		attr, err = harness.AttributeOrdered(am, gen, am, w, attrLoadN, attrOpN, cfg.seed+1)
+	}
 	am.Release()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "\n%s/%s attribution: %v\n", name, w.Name, err)
@@ -385,7 +408,12 @@ func workloadCellHash(name string, w ycsb.Workload, cfg config, kinds []ycsb.OpK
 	gen := keys.NewGenerator(keys.RandInt)
 	before := m.ShardStats()
 	aggBefore := m.Stats()
-	res, err := harness.RunHash(name, m, gen, m, w, cfg.loadN, cfg.opN, cfg.threads, cfg.seed)
+	var res harness.Result
+	if cfg.batch > 1 {
+		res, err = harness.RunHashBatched(name, m, gen, w, cfg.loadN, cfg.opN, cfg.threads, cfg.batch, cfg.seed)
+	} else {
+		res, err = harness.RunHash(name, m, gen, m, w, cfg.loadN, cfg.opN, cfg.threads, cfg.seed)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", name, w.Name, err)
 		os.Exit(1)
@@ -399,7 +427,12 @@ func workloadCellHash(name string, w ycsb.Workload, cfg config, kinds []ycsb.OpK
 		os.Exit(1)
 	}
 	attrLoadN, attrOpN := attrSizes(cfg)
-	attr, err := harness.AttributeHash(am, gen, am, w, attrLoadN, attrOpN, cfg.seed+1)
+	var attr harness.Attribution
+	if cfg.batch > 1 {
+		attr, err = harness.AttributeHashBatched(am, gen, w, attrLoadN, attrOpN, cfg.batch, cfg.seed+1)
+	} else {
+		attr, err = harness.AttributeHash(am, gen, am, w, attrLoadN, attrOpN, cfg.seed+1)
+	}
 	am.Release()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "\n%s/%s attribution: %v\n", name, w.Name, err)
@@ -412,10 +445,15 @@ func workloadCellHash(name string, w ycsb.Workload, cfg config, kinds []ycsb.OpK
 	printWorkloadRow(name, cfg.shards, res, attr, kinds)
 }
 
-// printWorkloadRow prints one -workloads table row: throughput plus
-// the attributed clwb/fence per op of each kind in the mix.
+// printWorkloadRow prints one -workloads table row: throughput, the
+// measured run phase's aggregate fences per op, plus the attributed
+// clwb/fence per op of each kind in the mix.
 func printWorkloadRow(name string, shards int, res harness.Result, attr harness.Attribution, kinds []ycsb.OpKind) {
-	fmt.Printf("%-14s %2d %9.3f", name, shards, res.MopsPerSec())
+	fencePerOp := 0.0
+	if res.Ops > 0 {
+		fencePerOp = float64(res.Stats.Fence) / float64(res.Ops)
+	}
+	fmt.Printf("%-14s %2d %9.3f %9.2f", name, shards, res.MopsPerSec(), fencePerOp)
 	for _, k := range kinds {
 		fmt.Printf(" %12.2f %12.2f", attr.ClwbPer(k), attr.FencePer(k))
 	}

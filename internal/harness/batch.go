@@ -1,0 +1,396 @@
+// Batched execution: the YCSB run loops and the exact per-op-kind
+// attribution walk, driven through the sharded front-end's group-flush
+// combiners (shard.Deferred) so writes commit in groups of `batch` ops
+// with one covering fence per same-shard group.
+//
+// The flush rules keep batched reads consistent with the plan's
+// guarantees (see ycsb.Sampler): read-like targets are either loaded
+// identifiers (< LoadN, flushed since the load phase completed) or the
+// same thread's own earlier inserts — which sit in this thread's own
+// combiner, so flushing the private queue before a read of an
+// own-inserted identifier is sufficient. Pending in-place updates never
+// force a flush: verification masks value tags (ValueID), so reading
+// the pre-update value is indistinguishable in ID space.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/keys"
+	"repro/internal/ycsb"
+	"repro/shard"
+)
+
+// RunOrderedBatched is RunOrdered over the sharded front-end with
+// group-commit batching: each worker queues its writes in a
+// shard.Deferred combiner of the given batch size (batch < 2 degrades
+// to per-op group commits of one, the unbatched write path). Reads and
+// scans execute directly, flushing the worker's queue first only when a
+// queued insert could be observed. The measured-phase Result is
+// comparable to RunOrdered's: same plan, same op counts, fewer fences.
+func RunOrderedBatched(name string, m *shard.Ordered, gen *keys.Generator, w ycsb.Workload, loadN, opN, threads, batch int, seed int64) (Result, error) {
+	load := ycsb.GenerateLoad(loadN, threads)
+	if err := execOrderedBatched(m, gen, load, batch); err != nil {
+		return Result{}, fmt.Errorf("load phase: %w", err)
+	}
+	plan := ycsb.Generate(w, loadN, opN, threads, seed)
+	before := m.Stats()
+	start := time.Now()
+	if err := execOrderedBatched(m, gen, plan, batch); err != nil {
+		return Result{}, fmt.Errorf("run phase: %w", err)
+	}
+	elapsed := time.Since(start)
+	return Result{
+		Index: name, Workload: w.Name, KeyKind: gen.Kind(), Threads: threads,
+		Ops: plan.TotalOps(), Elapsed: elapsed, Stats: m.Stats().Sub(before),
+		Inserts: plan.Inserts, Counts: plan.Counts,
+	}, nil
+}
+
+// RunHashBatched is RunOrderedBatched for the unordered front-end
+// (integer keys; scan ops are invalid).
+func RunHashBatched(name string, m *shard.Hash, gen *keys.Generator, w ycsb.Workload, loadN, opN, threads, batch int, seed int64) (Result, error) {
+	if w.ScanPct > 0 {
+		return Result{}, fmt.Errorf("harness: workload %s has scans; unordered indexes do not support them", w.Name)
+	}
+	load := ycsb.GenerateLoad(loadN, threads)
+	if err := execHashBatched(m, gen, load, batch); err != nil {
+		return Result{}, fmt.Errorf("load phase: %w", err)
+	}
+	plan := ycsb.Generate(w, loadN, opN, threads, seed)
+	before := m.Stats()
+	start := time.Now()
+	if err := execHashBatched(m, gen, plan, batch); err != nil {
+		return Result{}, fmt.Errorf("run phase: %w", err)
+	}
+	elapsed := time.Since(start)
+	return Result{
+		Index: name, Workload: w.Name, KeyKind: gen.Kind(), Threads: threads,
+		Ops: plan.TotalOps(), Elapsed: elapsed, Stats: m.Stats().Sub(before),
+		Inserts: plan.Inserts, Counts: plan.Counts,
+	}, nil
+}
+
+// execOrderedBatched runs a plan against the ordered front-end, one
+// goroutine per thread stream, each owning a private combiner.
+func execOrderedBatched(m *shard.Ordered, gen *keys.Generator, plan *ycsb.Plan, batch int) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(plan.Threads))
+	loadN := uint64(plan.LoadN)
+	for t := range plan.Threads {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := shard.NewDeferred(m, batch)
+			buf := make([]byte, 0, 32)
+			for _, op := range plan.Threads[t] {
+				buf = gen.AppendKey(buf[:0], op.ID)
+				var err error
+				switch op.Kind {
+				case ycsb.OpInsert:
+					err = d.Insert(buf, op.ID)
+				case ycsb.OpUpdate:
+					err = d.Update(buf, op.ID|UpdateBit)
+				case ycsb.OpRead:
+					// Only an own earlier insert (ID >= LoadN) can still sit in
+					// the queue; loaded identifiers were flushed with the load.
+					if op.ID >= loadN && d.HasInserts() {
+						err = d.Flush()
+					}
+					if err == nil {
+						if v, ok := m.Lookup(buf); !ok || ValueID(v) != op.ID {
+							err = fmt.Errorf("read id %d: got %d,%v", op.ID, v, ok)
+						}
+					}
+				case ycsb.OpRMW:
+					if op.ID >= loadN && d.HasInserts() {
+						err = d.Flush()
+					}
+					if err == nil {
+						v, ok := m.Lookup(buf)
+						if !ok || ValueID(v) != op.ID {
+							err = fmt.Errorf("rmw read id %d: got %d,%v", op.ID, v, ok)
+						} else {
+							err = d.Update(buf, v|RMWBit)
+						}
+					}
+				case ycsb.OpScan:
+					if d.HasInserts() {
+						err = d.Flush()
+					}
+					if err == nil {
+						m.Scan(buf, op.ScanLen, func([]byte, uint64) bool { return true })
+					}
+				}
+				if err != nil {
+					errs[t] = err
+					return
+				}
+			}
+			if err := d.Flush(); err != nil {
+				errs[t] = err
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execHashBatched runs a plan against the unordered front-end.
+func execHashBatched(m *shard.Hash, gen *keys.Generator, plan *ycsb.Plan, batch int) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(plan.Threads))
+	loadN := uint64(plan.LoadN)
+	for t := range plan.Threads {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := shard.NewDeferredHash(m, batch)
+			for _, op := range plan.Threads[t] {
+				k := gen.Uint64(op.ID) | 1 // hash tables reserve key 0
+				var err error
+				switch op.Kind {
+				case ycsb.OpInsert:
+					err = d.Insert(k, op.ID)
+				case ycsb.OpUpdate:
+					err = d.Update(k, op.ID|UpdateBit)
+				case ycsb.OpRead:
+					if op.ID >= loadN && d.HasInserts() {
+						err = d.Flush()
+					}
+					if err == nil {
+						if v, ok := m.Lookup(k); !ok || ValueID(v) != op.ID {
+							err = fmt.Errorf("read id %d: got %d,%v", op.ID, v, ok)
+						}
+					}
+				case ycsb.OpRMW:
+					if op.ID >= loadN && d.HasInserts() {
+						err = d.Flush()
+					}
+					if err == nil {
+						v, ok := m.Lookup(k)
+						if !ok || ValueID(v) != op.ID {
+							err = fmt.Errorf("rmw read id %d: got %d,%v", op.ID, v, ok)
+						} else {
+							err = d.Update(k, v|RMWBit)
+						}
+					}
+				}
+				if err != nil {
+					errs[t] = err
+					return
+				}
+			}
+			if err := d.Flush(); err != nil {
+				errs[t] = err
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AttributeOrderedBatched is AttributeOrdered through the batched write
+// path: a single-threaded walk with a combiner of the given batch size,
+// charging every counter delta to the operation that caused it. Direct
+// operations (reads, scans, the RMW read) are charged around their
+// execution as in the unbatched walk; queued writes are charged at
+// flush time through the combiner's observer, which fires after each
+// op's group boundary — the covering barrier's delta is charged to the
+// sub-batch's last write. Per-kind deltas conserve bit-exactly against
+// the aggregate (Attribution.Conserves), batched or not.
+func AttributeOrderedBatched(m *shard.Ordered, gen *keys.Generator, w ycsb.Workload, loadN, opN, batch int, seed int64) (Attribution, error) {
+	if err := execOrderedBatched(m, gen, ycsb.GenerateLoad(loadN, 1), batch); err != nil {
+		return Attribution{}, fmt.Errorf("load phase: %w", err)
+	}
+	plan := ycsb.Generate(w, loadN, opN, 1, seed)
+	var a Attribution
+	start := m.Stats()
+	before := start
+	charge := func(k ycsb.OpKind) {
+		after := m.Stats()
+		a.Kinds[k].Stats = a.Kinds[k].Stats.Add(after.Sub(before))
+		before = after
+	}
+
+	d := shard.NewDeferred(m, batch)
+	kinds := make([]ycsb.OpKind, 0, batch)
+	obs := func(i int) { charge(kinds[i]) }
+	flush := func() error {
+		err := d.FlushObserved(obs)
+		kinds = kinds[:0]
+		return err
+	}
+	// enqueue pre-flushes a full queue so the combiner's internal
+	// (unobserved) auto-flush never fires and every write is charged.
+	enqueue := func(k ycsb.OpKind, key []byte, v uint64, update bool) error {
+		if d.Pending() >= batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		var err error
+		if update {
+			err = d.Update(key, v)
+		} else {
+			err = d.Insert(key, v)
+		}
+		kinds = append(kinds, k)
+		return err
+	}
+
+	buf := make([]byte, 0, 32)
+	loadN64 := uint64(loadN)
+	for _, op := range plan.Threads[0] {
+		buf = gen.AppendKey(buf[:0], op.ID)
+		a.Kinds[op.Kind].Ops++
+		var err error
+		switch op.Kind {
+		case ycsb.OpInsert:
+			err = enqueue(ycsb.OpInsert, buf, op.ID, false)
+		case ycsb.OpUpdate:
+			err = enqueue(ycsb.OpUpdate, buf, op.ID|UpdateBit, true)
+		case ycsb.OpRead:
+			if op.ID >= loadN64 && d.HasInserts() {
+				err = flush()
+			}
+			if err == nil {
+				if v, ok := m.Lookup(buf); !ok || ValueID(v) != op.ID {
+					err = fmt.Errorf("read id %d: got %d,%v", op.ID, v, ok)
+				}
+				charge(ycsb.OpRead)
+			}
+		case ycsb.OpRMW:
+			if op.ID >= loadN64 && d.HasInserts() {
+				err = flush()
+			}
+			if err == nil {
+				v, ok := m.Lookup(buf)
+				if !ok || ValueID(v) != op.ID {
+					err = fmt.Errorf("rmw read id %d: got %d,%v", op.ID, v, ok)
+				} else {
+					charge(ycsb.OpRMW) // the read half
+					err = enqueue(ycsb.OpRMW, buf, v|RMWBit, true)
+				}
+			}
+		case ycsb.OpScan:
+			if d.HasInserts() {
+				err = flush()
+			}
+			if err == nil {
+				m.Scan(buf, op.ScanLen, func([]byte, uint64) bool { return true })
+				charge(ycsb.OpScan)
+			}
+		}
+		if err != nil {
+			return Attribution{}, fmt.Errorf("run phase: %w", err)
+		}
+	}
+	if err := flush(); err != nil {
+		return Attribution{}, fmt.Errorf("final flush: %w", err)
+	}
+	a.Total = before.Sub(start)
+	return a, nil
+}
+
+// AttributeHashBatched is AttributeOrderedBatched for the unordered
+// front-end.
+func AttributeHashBatched(m *shard.Hash, gen *keys.Generator, w ycsb.Workload, loadN, opN, batch int, seed int64) (Attribution, error) {
+	if w.ScanPct > 0 {
+		return Attribution{}, fmt.Errorf("harness: workload %s has scans; unordered indexes do not support them", w.Name)
+	}
+	if err := execHashBatched(m, gen, ycsb.GenerateLoad(loadN, 1), batch); err != nil {
+		return Attribution{}, fmt.Errorf("load phase: %w", err)
+	}
+	plan := ycsb.Generate(w, loadN, opN, 1, seed)
+	var a Attribution
+	start := m.Stats()
+	before := start
+	charge := func(k ycsb.OpKind) {
+		after := m.Stats()
+		a.Kinds[k].Stats = a.Kinds[k].Stats.Add(after.Sub(before))
+		before = after
+	}
+
+	d := shard.NewDeferredHash(m, batch)
+	kinds := make([]ycsb.OpKind, 0, batch)
+	obs := func(i int) { charge(kinds[i]) }
+	flush := func() error {
+		err := d.FlushObserved(obs)
+		kinds = kinds[:0]
+		return err
+	}
+	enqueue := func(kind ycsb.OpKind, k, v uint64, update bool) error {
+		if d.Pending() >= batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		var err error
+		if update {
+			err = d.Update(k, v)
+		} else {
+			err = d.Insert(k, v)
+		}
+		kinds = append(kinds, kind)
+		return err
+	}
+
+	loadN64 := uint64(loadN)
+	for _, op := range plan.Threads[0] {
+		k := gen.Uint64(op.ID) | 1
+		a.Kinds[op.Kind].Ops++
+		var err error
+		switch op.Kind {
+		case ycsb.OpInsert:
+			err = enqueue(ycsb.OpInsert, k, op.ID, false)
+		case ycsb.OpUpdate:
+			err = enqueue(ycsb.OpUpdate, k, op.ID|UpdateBit, true)
+		case ycsb.OpRead:
+			if op.ID >= loadN64 && d.HasInserts() {
+				err = flush()
+			}
+			if err == nil {
+				if v, ok := m.Lookup(k); !ok || ValueID(v) != op.ID {
+					err = fmt.Errorf("read id %d: got %d,%v", op.ID, v, ok)
+				}
+				charge(ycsb.OpRead)
+			}
+		case ycsb.OpRMW:
+			if op.ID >= loadN64 && d.HasInserts() {
+				err = flush()
+			}
+			if err == nil {
+				v, ok := m.Lookup(k)
+				if !ok || ValueID(v) != op.ID {
+					err = fmt.Errorf("rmw read id %d: got %d,%v", op.ID, v, ok)
+				} else {
+					charge(ycsb.OpRMW)
+					err = enqueue(ycsb.OpRMW, k, v|RMWBit, true)
+				}
+			}
+		}
+		if err != nil {
+			return Attribution{}, fmt.Errorf("run phase: %w", err)
+		}
+	}
+	if err := flush(); err != nil {
+		return Attribution{}, fmt.Errorf("final flush: %w", err)
+	}
+	a.Total = before.Sub(start)
+	return a, nil
+}

@@ -1,0 +1,333 @@
+// Batched crash campaigns: the per-site durability and lossy
+// power-failure sweeps driven through the group-commit write path
+// (internal/group), so every site inside a group commit — the two
+// group.* boundary sites plus every index-internal site reached while a
+// fence group is open — is crashed and verified.
+//
+// The acked-durability contract under batching is per batch: a batch
+// whose Apply returned nil is acknowledged in full and every one of its
+// writes must survive the power loss; a batch in flight when the crash
+// hit was never acknowledged, so any subset of its operations may
+// survive (each op's commit store is individually atomic — the
+// deferred-fence invariant), but a surviving operation must carry its
+// exact value. An acked write missing is LOST-ACK; an in-flight write
+// missing is PARTIAL; a wrong value anywhere is CORRUPT — identical
+// severity semantics to the unbatched campaigns, with the in-flight set
+// widened from one operation to one batch.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/crash"
+	"repro/internal/group"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+)
+
+// batchTrial binds one index instance on one heap behind a batched
+// loader: insertBatch group-commits identifiers [lo, lo+n).
+type batchTrial struct {
+	insertBatch func(lo uint64, n int) error
+	lookup      func(id uint64) (uint64, bool)
+	recoverFn   func() error
+}
+
+// orderedBatchTrial adapts an ordered index to the batched trial shape.
+func orderedBatchTrial(factory func(*pmem.Heap) core.OrderedIndex, kind keys.Kind) func(*pmem.Heap) batchTrial {
+	return func(heap *pmem.Heap) batchTrial {
+		idx := factory(heap)
+		gen := keys.NewGenerator(kind)
+		return batchTrial{
+			insertBatch: func(lo uint64, n int) error {
+				ops := make([]group.ByteOp, n)
+				for i := range ops {
+					id := lo + uint64(i)
+					ops[i] = group.ByteOp{Key: gen.Key(id), Value: id}
+				}
+				return group.ApplyOrdered(heap, idx, ops, nil)
+			},
+			lookup:    func(id uint64) (uint64, bool) { return idx.Lookup(gen.Key(id)) },
+			recoverFn: idx.Recover,
+		}
+	}
+}
+
+// hashBatchTrial adapts an unordered index to the batched trial shape.
+func hashBatchTrial(factory func(*pmem.Heap) core.HashIndex) func(*pmem.Heap) batchTrial {
+	return func(heap *pmem.Heap) batchTrial {
+		idx := factory(heap)
+		gen := keys.NewGenerator(keys.RandInt)
+		return batchTrial{
+			insertBatch: func(lo uint64, n int) error {
+				ops := make([]group.U64Op, n)
+				for i := range ops {
+					id := lo + uint64(i)
+					ops[i] = group.U64Op{Key: gen.Uint64(id) | 1, Value: id}
+				}
+				return group.ApplyHash(heap, idx, ops, nil)
+			},
+			lookup:    func(id uint64) (uint64, bool) { return idx.Lookup(gen.Uint64(id) | 1) },
+			recoverFn: idx.Recover,
+		}
+	}
+}
+
+// batches cuts [0, total) into group-commit ranges of the given size
+// and calls body(lo, n) for each, stopping on the first error.
+func batches(total, size int, body func(lo uint64, n int) error) error {
+	if size < 1 {
+		size = 1
+	}
+	for lo := 0; lo < total; lo += size {
+		n := size
+		if lo+n > total {
+			n = total - lo
+		}
+		if err := body(uint64(lo), n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// discoverBatchSites runs one untracked batched load with a
+// never-firing injector and returns every crash site it passed through
+// — the index's own sites plus the group.* boundary sites.
+func discoverBatchSites(loadN, batch int, build func(*pmem.Heap) batchTrial) []string {
+	inj := crash.NewProbabilistic(0, 1)
+	heap := pmem.New(pmem.Options{Injector: inj})
+	trial := build(heap)
+	_ = batches(loadN, batch, trial.insertBatch)
+	m := inj.Sites()
+	sites := make([]string, 0, len(m))
+	for s := range m {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	heap.Release()
+	return sites
+}
+
+// LossyCampaignOrderedBatched runs the lossy power-failure campaign
+// through the batched write path for an ordered index: discover every
+// crash site a batched loadN-insert load passes through (including the
+// group commit boundary sites), then crash at each, power-cycle under
+// the policy, recover, and verify every acknowledged batch in full plus
+// batch-atomicity of the in-flight batch and postN batched post-cycle
+// inserts.
+func LossyCampaignOrderedBatched(name string, factory func(*pmem.Heap) core.OrderedIndex, kind keys.Kind, policy pmem.Policy, seed int64, loadN, postN, batch, workers int) LossyCampaignReport {
+	return lossyCampaignBatched(name, policy, seed, loadN, postN, batch, workers, orderedBatchTrial(factory, kind))
+}
+
+// LossyCampaignHashBatched is LossyCampaignOrderedBatched for unordered
+// indexes.
+func LossyCampaignHashBatched(name string, factory func(*pmem.Heap) core.HashIndex, policy pmem.Policy, seed int64, loadN, postN, batch, workers int) LossyCampaignReport {
+	return lossyCampaignBatched(name, policy, seed, loadN, postN, batch, workers, hashBatchTrial(factory))
+}
+
+func lossyCampaignBatched(name string, policy pmem.Policy, seed int64, loadN, postN, batch, workers int, build func(*pmem.Heap) batchTrial) LossyCampaignReport {
+	sites := discoverBatchSites(loadN, batch, build)
+	rep := LossyCampaignReport{
+		Index: name, Policy: policy, Seed: seed,
+		PostOps: postN, Sites: make([]LossySiteReport, len(sites)),
+	}
+	forEachSite(len(sites), workers, func(i int) {
+		rep.Sites[i] = lossyBatchAtSite(sites[i], policy, siteSeed(seed, sites[i]), loadN, postN, batch, build)
+	})
+	return rep
+}
+
+// lossyBatchAtSite is one trial: batched load with a crash armed at the
+// site's first visit on a Shadow-mode heap, power-cycle, recover, and
+// verify acked batches fully and the in-flight batch atomically.
+func lossyBatchAtSite(site string, policy pmem.Policy, seed int64, loadN, postN, batch int, build func(*pmem.Heap) batchTrial) LossySiteReport {
+	r := LossySiteReport{Site: site}
+	heap := pmem.New(pmem.Options{Shadow: true})
+	defer heap.Release()
+	trial := build(heap)
+	heap.SetInjector(crash.NewAtSite(site, 1))
+
+	committed := make([]uint64, 0, loadN)
+	var inflight []uint64
+	_ = batches(loadN, batch, func(lo uint64, n int) error {
+		if err := trial.insertBatch(lo, n); err != nil {
+			if crash.IsCrash(err) {
+				r.Fired = true
+				// The whole unacknowledged batch is in flight; any subset of
+				// it may survive the loss, each op individually atomic.
+				for i := 0; i < n; i++ {
+					inflight = append(inflight, lo+uint64(i))
+				}
+			}
+			// Non-crash errors end the load; only acknowledged batches join
+			// the model.
+			return err
+		}
+		for i := 0; i < n; i++ {
+			committed = append(committed, lo+uint64(i))
+		}
+		return nil
+	})
+	heap.SetInjector(nil)
+	if !r.Fired {
+		return r
+	}
+
+	r.Cycle = heap.PowerCycle(policy, seed)
+	if err := guard(trial.recoverFn); err != nil {
+		r.Outcome, r.Detail = OutcomeCorrupt, fmt.Sprintf("recovery failed: %v", err)
+		return r
+	}
+
+	fail := func(o LossyOutcome, detail string) {
+		if o > r.Outcome {
+			r.Outcome = o
+			r.Detail = detail
+		}
+	}
+
+	// Acked batches: every write present with its value — the group
+	// barrier retired before the ack, so the power loss may not touch it.
+	verify := func(phase string) error {
+		return guard(func() error {
+			for _, id := range committed {
+				v, ok := trial.lookup(id)
+				switch {
+				case !ok:
+					r.LostAcks++
+					fail(OutcomeLostAck, fmt.Sprintf("%s: acknowledged id %d missing", phase, id))
+				case v != id:
+					r.LostAcks++
+					fail(OutcomeCorrupt, fmt.Sprintf("%s: id %d read back %d", phase, id, v))
+				}
+			}
+			return nil
+		})
+	}
+	if err := verify("readback"); err != nil {
+		fail(OutcomeCorrupt, fmt.Sprintf("readback %v", err))
+		return r
+	}
+
+	// The in-flight batch was never acknowledged: each of its ops either
+	// survived whole or vanished whole — a wrong value is corruption.
+	err := guard(func() error {
+		for _, id := range inflight {
+			if v, ok := trial.lookup(id); ok {
+				if v != id {
+					fail(OutcomeCorrupt, fmt.Sprintf("in-flight id %d read back %d", id, v))
+				}
+			} else {
+				fail(OutcomePartial, "")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fail(OutcomeCorrupt, fmt.Sprintf("in-flight lookup %v", err))
+		return r
+	}
+
+	// The recovered index must accept and retain new batched writes.
+	const postBase = 1_000_000
+	if err := guard(func() error {
+		return batches(postN, batch, func(lo uint64, n int) error {
+			return trial.insertBatch(postBase+lo, n)
+		})
+	}); err != nil {
+		fail(OutcomeCorrupt, fmt.Sprintf("post-cycle batch: %v", err))
+		return r
+	}
+	if err := guard(func() error {
+		for i := 0; i < postN; i++ {
+			id := uint64(postBase + i)
+			if v, ok := trial.lookup(id); !ok || v != id {
+				fail(OutcomeCorrupt, fmt.Sprintf("post-cycle id %d: ok=%v v=%d", id, ok, v))
+			}
+		}
+		return nil
+	}); err != nil {
+		fail(OutcomeCorrupt, fmt.Sprintf("post-cycle readback %v", err))
+		return r
+	}
+	// Re-verify the original dataset after the repair traffic.
+	if err := verify("post-ops readback"); err != nil {
+		fail(OutcomeCorrupt, fmt.Sprintf("post-ops readback %v", err))
+	}
+	return r
+}
+
+// DurabilitySitesOrderedBatched runs the per-site durability campaign
+// through the batched write path for an ordered index: the tracker must
+// report every line flushed and fenced at each acknowledged batch
+// boundary — mid-batch pending lines are legal, unfenced lines
+// surviving past the covering barrier are not — before the crash, after
+// recovery, and across postN batched post-crash inserts.
+func DurabilitySitesOrderedBatched(name string, factory func(*pmem.Heap) core.OrderedIndex, kind keys.Kind, loadN, postN, batch, workers int) SiteCampaignReport {
+	return durabilitySitesBatched(name, loadN, postN, batch, workers, orderedBatchTrial(factory, kind))
+}
+
+// DurabilitySitesHashBatched is DurabilitySitesOrderedBatched for
+// unordered indexes.
+func DurabilitySitesHashBatched(name string, factory func(*pmem.Heap) core.HashIndex, loadN, postN, batch, workers int) SiteCampaignReport {
+	return durabilitySitesBatched(name, loadN, postN, batch, workers, hashBatchTrial(factory))
+}
+
+func durabilitySitesBatched(name string, loadN, postN, batch, workers int, build func(*pmem.Heap) batchTrial) SiteCampaignReport {
+	sites := discoverBatchSites(loadN, batch, build)
+	rep := SiteCampaignReport{Index: name, PostOps: postN, Sites: make([]SiteReport, len(sites))}
+	forEachSite(len(sites), workers, func(i int) {
+		rep.Sites[i] = durabilityBatchAtSite(sites[i], loadN, postN, batch, build)
+	})
+	return rep
+}
+
+// durabilityBatchAtSite is one trial: batched load with a crash armed
+// at the site's first visit on a Track-mode heap, checking flush
+// coverage at every acknowledged batch boundary before and after the
+// crash.
+func durabilityBatchAtSite(site string, loadN, postN, batch int, build func(*pmem.Heap) batchTrial) SiteReport {
+	r := SiteReport{Site: site}
+	heap := pmem.New(pmem.Options{Track: true})
+	defer heap.Release()
+	trial := build(heap)
+	heap.SetInjector(crash.NewAtSite(site, 1))
+	_ = batches(loadN, batch, func(lo uint64, n int) error {
+		err := trial.insertBatch(lo, n)
+		if crash.IsCrash(err) {
+			r.Fired = true
+		}
+		return err
+	})
+	heap.SetInjector(nil)
+	if !r.Fired {
+		return r
+	}
+	// Power-cycle: unflushed state is gone; every boundary from here on
+	// must be durable again.
+	heap.Tracker().Reset()
+	if err := trial.recoverFn(); err != nil {
+		r.RecoveryFailed = true
+		return r
+	}
+	if v := heap.Tracker().Check(); len(v) != 0 {
+		r.RecoveryViolations = len(v)
+		heap.Tracker().Reset()
+	}
+	const postBase = 1_000_000
+	_ = batches(postN, batch, func(lo uint64, n int) error {
+		if err := trial.insertBatch(postBase+lo, n); err != nil {
+			r.OpViolations++
+			return nil // keep driving the remaining batches
+		}
+		if v := heap.Tracker().Check(); len(v) != 0 {
+			r.OpViolations += len(v)
+			heap.Tracker().Reset()
+		}
+		return nil
+	})
+	return r
+}

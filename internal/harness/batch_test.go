@@ -1,0 +1,280 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/group"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+	"repro/internal/ycsb"
+	"repro/shard"
+)
+
+func shardedOrdered(t *testing.T, name string, shards int) *shard.Ordered {
+	t.Helper()
+	m, err := shard.NewOrdered(name, keys.RandInt, shard.Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestBatchedRunSavesFences: the batched run loop pays measurably fewer
+// fences than the unbatched loop on write-heavy A — the tentpole's
+// fences-per-op claim at small scale.
+func TestBatchedRunSavesFences(t *testing.T) {
+	const loadN, opN, threads, batch, seed = 512, 1024, 2, 8, 42
+	gen := keys.NewGenerator(keys.RandInt)
+
+	plain := shardedOrdered(t, "P-ART", 2)
+	defer plain.Release()
+	base, err := RunOrdered("P-ART", plain, gen, plain, ycsb.A, loadN, opN, threads, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batched := shardedOrdered(t, "P-ART", 2)
+	defer batched.Release()
+	res, err := RunOrderedBatched("P-ART", batched, gen, ycsb.A, loadN, opN, threads, batch, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != base.Ops || res.Counts != base.Counts {
+		t.Fatalf("batched plan diverged: ops %d vs %d, counts %v vs %v",
+			res.Ops, base.Ops, res.Counts, base.Counts)
+	}
+	if res.Stats.Fence >= base.Stats.Fence {
+		t.Errorf("batched fences = %d, want < unbatched %d", res.Stats.Fence, base.Stats.Fence)
+	}
+}
+
+// TestBatchedUnbatchedParityD: workload D's final dataset is identical
+// (exact values — D carries no in-place writes) between the batched and
+// unbatched run loops at the same seed.
+func TestBatchedUnbatchedParityD(t *testing.T) {
+	const loadN, opN, batch, seed = 400, 800, 8, 7
+	gen := keys.NewGenerator(keys.RandInt)
+
+	plain := shardedOrdered(t, "P-ART", 2)
+	defer plain.Release()
+	if _, err := RunOrdered("P-ART", plain, gen, plain, ycsb.D, loadN, opN, 1, seed); err != nil {
+		t.Fatal(err)
+	}
+	batched := shardedOrdered(t, "P-ART", 2)
+	defer batched.Release()
+	if _, err := RunOrderedBatched("P-ART", batched, gen, ycsb.D, loadN, opN, 1, batch, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Len() != batched.Len() {
+		t.Fatalf("Len: unbatched %d, batched %d", plain.Len(), batched.Len())
+	}
+	plan := ycsb.Generate(ycsb.D, loadN, opN, 1, seed)
+	maxID := uint64(loadN + plan.Inserts)
+	for id := uint64(0); id < maxID; id++ {
+		key := gen.Key(id)
+		va, oka := plain.Lookup(key)
+		vb, okb := batched.Lookup(key)
+		if oka != okb || va != vb {
+			t.Fatalf("id %d: unbatched (%d,%v) != batched (%d,%v)", id, va, oka, vb, okb)
+		}
+	}
+}
+
+// TestBatchedUnbatchedParityF: workload F's final dataset matches
+// modulo value tags — the batched RMW may read the pre-pending value,
+// but the identifier under the tags must agree key for key.
+func TestBatchedUnbatchedParityF(t *testing.T) {
+	const loadN, opN, batch, seed = 400, 800, 8, 11
+	gen := keys.NewGenerator(keys.RandInt)
+
+	plain := shardedOrdered(t, "P-ART", 2)
+	defer plain.Release()
+	if _, err := RunOrdered("P-ART", plain, gen, plain, ycsb.F, loadN, opN, 1, seed); err != nil {
+		t.Fatal(err)
+	}
+	batched := shardedOrdered(t, "P-ART", 2)
+	defer batched.Release()
+	if _, err := RunOrderedBatched("P-ART", batched, gen, ycsb.F, loadN, opN, 1, batch, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Len() != batched.Len() {
+		t.Fatalf("Len: unbatched %d, batched %d", plain.Len(), batched.Len())
+	}
+	for id := uint64(0); id < loadN; id++ {
+		key := gen.Key(id)
+		va, oka := plain.Lookup(key)
+		vb, okb := batched.Lookup(key)
+		if oka != okb || ValueID(va) != ValueID(vb) {
+			t.Fatalf("id %d: unbatched (%d,%v) != batched (%d,%v) under ValueID", id, va, oka, vb, okb)
+		}
+	}
+}
+
+// TestBatchedAttributionConserves: the batched per-op-kind attribution
+// sums bit-exactly to the aggregate delta on the update-bearing D and F
+// workloads, at batch sizes that exercise mid-queue flushes.
+func TestBatchedAttributionConserves(t *testing.T) {
+	const loadN, opN, seed = 400, 800, 42
+	for _, w := range []ycsb.Workload{ycsb.D, ycsb.F, ycsb.A} {
+		for _, batch := range []int{1, 8, 64} {
+			m := shardedOrdered(t, "P-ART", 2)
+			gen := keys.NewGenerator(keys.RandInt)
+			a, err := AttributeOrderedBatched(m, gen, w, loadN, opN, batch, seed)
+			if err != nil {
+				m.Release()
+				t.Fatalf("%s batch=%d: %v", w.Name, batch, err)
+			}
+			if !a.Conserves() {
+				t.Errorf("%s batch=%d: per-kind deltas do not conserve against total %+v", w.Name, batch, a.Total)
+			}
+			ops := 0
+			for _, k := range a.Kinds {
+				ops += k.Ops
+			}
+			if ops != opN {
+				t.Errorf("%s batch=%d: attributed ops = %d, want %d", w.Name, batch, ops, opN)
+			}
+			m.Release()
+		}
+	}
+}
+
+// TestBatchedAttributionHashConserves is the unordered-front-end
+// conservation check.
+func TestBatchedAttributionHashConserves(t *testing.T) {
+	m, err := shard.NewHash("P-CLHT", shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	gen := keys.NewGenerator(keys.RandInt)
+	a, err := AttributeHashBatched(m, gen, ycsb.F, 400, 800, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Conserves() {
+		t.Errorf("hash batched attribution does not conserve: total %+v", a.Total)
+	}
+}
+
+// TestBatchedRunHash: the batched unordered run loop executes A clean
+// and saves fences.
+func TestBatchedRunHash(t *testing.T) {
+	const loadN, opN, threads, batch, seed = 512, 1024, 2, 8, 42
+	gen := keys.NewGenerator(keys.RandInt)
+
+	plain, err := shard.NewHash("P-CLHT", shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Release()
+	base, err := RunHash("P-CLHT", plain, gen, plain, ycsb.A, loadN, opN, threads, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := shard.NewHash("P-CLHT", shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	res, err := RunHashBatched("P-CLHT", m, gen, ycsb.A, loadN, opN, threads, batch, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Fence >= base.Stats.Fence {
+		t.Errorf("batched fences = %d, want < unbatched %d", res.Stats.Fence, base.Stats.Fence)
+	}
+}
+
+// TestBatchedLossyMatrix drives all 9 indexes through the batched lossy
+// power-failure campaign under all three policies: crash at every site
+// inside a group commit (the group.* boundary sites included), and
+// acknowledged batches survive everywhere while the in-flight batch is
+// at worst batch-atomically PARTIAL — never LOST-ACK, never CORRUPT.
+func TestBatchedLossyMatrix(t *testing.T) {
+	const loadN, postN, batch, seed = 60, 6, 8, 42
+	for _, name := range lossyOrderedNames {
+		for _, policy := range pmem.Policies {
+			rep := LossyCampaignOrderedBatched(name, orderedFactory(t, name), keys.RandInt, policy, seed, loadN, postN, batch, 0)
+			checkLossy(t, rep)
+			checkGroupSites(t, rep)
+		}
+	}
+	for _, name := range core.HashNames {
+		for _, policy := range pmem.Policies {
+			rep := LossyCampaignHashBatched(name, hashFactory(t, name), policy, seed, loadN, postN, batch, 0)
+			checkLossy(t, rep)
+			checkGroupSites(t, rep)
+		}
+	}
+}
+
+// checkGroupSites asserts the batched campaign actually swept the group
+// commit boundary sites.
+func checkGroupSites(t *testing.T, rep LossyCampaignReport) {
+	t.Helper()
+	found := map[string]bool{}
+	for _, s := range rep.Sites {
+		found[s.Site] = s.Fired
+	}
+	for _, site := range []string{group.SiteOpApplied, group.SiteCommitFenced} {
+		fired, ok := found[site]
+		if !ok {
+			t.Errorf("%s/%v: batched campaign did not discover %s", rep.Index, rep.Policy, site)
+		} else if !fired {
+			t.Errorf("%s/%v: site %s discovered but never fired", rep.Index, rep.Policy, site)
+		}
+	}
+}
+
+// TestBatchedDurabilitySites: the per-site durability campaign through
+// the batched write path — flush coverage holds at every acknowledged
+// batch boundary after a crash at any site, group boundaries included.
+func TestBatchedDurabilitySites(t *testing.T) {
+	rep := DurabilitySitesOrderedBatched("P-ART", func(h *pmem.Heap) core.OrderedIndex {
+		idx, err := core.NewOrdered("P-ART", h, keys.RandInt)
+		if err != nil {
+			panic(err) // runs on a worker goroutine; t.Fatal is not allowed here
+		}
+		return idx
+	}, keys.RandInt, 600, 60, 8, 4)
+	if len(rep.Sites) == 0 {
+		t.Fatal("no crash sites discovered")
+	}
+	if rep.Fired() != len(rep.Sites) {
+		t.Fatalf("fired at %d of %d sites", rep.Fired(), len(rep.Sites))
+	}
+	if !rep.Pass() {
+		t.Fatalf("campaign failed: %s", rep.String())
+	}
+	hasGroup := false
+	for _, s := range rep.Sites {
+		if s.Site == group.SiteOpApplied || s.Site == group.SiteCommitFenced {
+			hasGroup = true
+		}
+	}
+	if !hasGroup {
+		t.Fatal("batched durability campaign never crashed a group boundary site")
+	}
+}
+
+// TestBatchedDurabilitySitesHash is the unordered variant.
+func TestBatchedDurabilitySitesHash(t *testing.T) {
+	rep := DurabilitySitesHashBatched("P-CLHT", func(h *pmem.Heap) core.HashIndex {
+		idx, err := core.NewHash("P-CLHT", h)
+		if err != nil {
+			panic(err) // runs on a worker goroutine; t.Fatal is not allowed here
+		}
+		return idx
+	}, 600, 60, 8, 4)
+	if len(rep.Sites) == 0 {
+		t.Fatal("no crash sites discovered")
+	}
+	if !rep.Pass() {
+		t.Fatalf("campaign failed: %s", rep.String())
+	}
+}

@@ -1,0 +1,139 @@
+// Group-persistence mode: deferred-fence batching on one heap.
+//
+// Every converted index ends each write with a trailing commit
+// sequence — clwb the commit store's line, then mfence — so a batch of
+// B writes pays B trailing fences even though a single fence would
+// cover them all: mfence is global, ordering every clwb issued before
+// it. The group mode below coalesces exactly those trailing fences
+// while leaving each operation's clwb coverage and *intra*-operation
+// ordering untouched:
+//
+//   - BeginFenceGroup arms the mode. While armed, Fence does not fence;
+//     it records that a fence is pending.
+//   - Persist materialises a pending fence before writing back new
+//     lines. This preserves intra-operation ordering exactly: the
+//     materialised fence covers precisely the clwbs the original fence
+//     would have covered, because no Persist ran in between. Ordering
+//     matters even under batching — an SMO's "persist node, fence,
+//     install pointer" must not collapse into one unordered group, or a
+//     torn power loss could keep the pointer and lose the node.
+//   - GroupOpBoundary marks the end of one operation. A fence still
+//     pending there is the operation's trailing fence; the boundary
+//     elides it, leaving the op's final commit stores written back but
+//     unfenced. That is safe because each such store is a
+//     self-contained atomic commit (an 8-byte pointer or value install
+//     whose referents the intra-op fences already made durable), so any
+//     subset surviving a power loss is a consistent image — and any
+//     later real fence, or the group's closing barrier, covers it.
+//   - EndFenceGroup disarms the mode and issues the covering barrier
+//     fence (FenceBarrier). Only after it may the caller acknowledge
+//     the batch: the acked-durability contract is unchanged, just
+//     paid once per group.
+//   - AbortFenceGroup disarms without fencing — the crash path. The
+//     batched lines stay unfenced, so a PowerCycle sees them exactly as
+//     a power loss mid-batch would.
+//
+// The savings: every op's one trailing fence is elided, so a B-op group
+// of single-fence operations (in-place updates, leaf inserts without
+// SMOs) issues 1 fence instead of B.
+//
+// Group mode is a single-writer mode per heap: between BeginFenceGroup
+// and EndFenceGroup/AbortFenceGroup no other goroutine may call
+// Persist, Fence, or Alloc on this heap (reads — Load, Lookup paths —
+// are fine: they never touch group state). The sharded front-end
+// serialises groups per shard; campaigns drive batched phases
+// single-threaded, like Track and Shadow modes.
+package pmem
+
+// groupState is the heap's deferred-fence mode. Plain fields: all
+// access happens on the group's single writer (callers serialise
+// groups externally, e.g. the shard front-end's per-shard batch lock).
+type groupState struct {
+	// active reports an armed fence group.
+	active bool
+	// pending reports a Fence call deferred and not yet materialised or
+	// elided.
+	pending bool
+	// elided counts trailing fences coalesced at op boundaries — the
+	// fences a group saved relative to the unbatched path.
+	elided uint64
+}
+
+// BeginFenceGroup arms deferred-fence mode: subsequent Fence calls are
+// deferred, materialised by the next Persist (preserving intra-op
+// ordering) or elided at GroupOpBoundary (the trailing commit fence).
+// The group's single-writer contract is documented above. Nested
+// groups are a bug and panic.
+func (h *Heap) BeginFenceGroup() {
+	if h.group.active {
+		panic("pmem: nested fence group")
+	}
+	h.group.active = true
+	h.group.pending = false
+}
+
+// GroupActive reports whether a fence group is armed.
+func (h *Heap) GroupActive() bool { return h.group.active }
+
+// GroupOpBoundary marks the end of one operation inside a fence group.
+// A fence still pending here is the op's trailing commit fence: the
+// boundary elides it, leaving the commit stores written back but
+// unfenced until a later real fence or the group's closing barrier
+// covers them. Calling it outside a group is a bug and panics.
+func (h *Heap) GroupOpBoundary() {
+	if !h.group.active {
+		panic("pmem: GroupOpBoundary outside a fence group")
+	}
+	if h.group.pending {
+		h.group.pending = false
+		h.group.elided++
+	}
+}
+
+// EndFenceGroup disarms deferred-fence mode and issues the covering
+// barrier fence. On return every store of the group is durable; the
+// caller may acknowledge the batch. Calling it outside a group is a
+// bug and panics.
+func (h *Heap) EndFenceGroup() {
+	if !h.group.active {
+		panic("pmem: EndFenceGroup outside a fence group")
+	}
+	h.group.active = false
+	h.group.pending = false
+	h.FenceBarrier()
+}
+
+// AbortFenceGroup disarms deferred-fence mode without fencing — the
+// crash path out of a group. The group's unfenced lines stay unfenced,
+// so a subsequent PowerCycle treats them exactly as a power loss
+// mid-batch would. Idempotent: aborting with no group armed is a no-op,
+// so recovery paths can call it unconditionally.
+func (h *Heap) AbortFenceGroup() {
+	h.group.active = false
+	h.group.pending = false
+}
+
+// FenceBarrier issues a real fence immediately, even inside a fence
+// group, and absorbs any deferred fence (one barrier covers both — the
+// fence is global). Outside a group it is exactly Fence.
+func (h *Heap) FenceBarrier() {
+	h.group.pending = false
+	h.fenceReal()
+}
+
+// ElidedFences returns the number of trailing fences group mode has
+// coalesced on this heap — the fence savings relative to the unbatched
+// path. Like Stats, it must not be read concurrently with an open
+// group.
+func (h *Heap) ElidedFences() uint64 { return h.group.elided }
+
+// materialisePending issues the deferred fence, if one is pending.
+// Persist calls it first, so a deferred fence always retires before any
+// new write-back — the materialised fence covers exactly the clwbs the
+// original would have.
+func (h *Heap) materialisePending() {
+	if h.group.pending {
+		h.group.pending = false
+		h.fenceReal()
+	}
+}

@@ -1,0 +1,185 @@
+package pmem
+
+import "testing"
+
+// TestGroupFenceCoalescing: B single-fence "operations" inside a group
+// issue exactly one real fence (the closing barrier), and every
+// trailing fence is accounted as elided.
+func TestGroupFenceCoalescing(t *testing.T) {
+	h := NewFast()
+	defer h.Release()
+	const B = 8
+	objs := make([]Obj, B)
+	for i := range objs {
+		objs[i] = h.Alloc(64)
+	}
+	h.BeginFenceGroup()
+	for _, o := range objs {
+		h.Persist(o, 0, 8)
+		h.Fence()
+		h.GroupOpBoundary()
+	}
+	h.EndFenceGroup()
+	s := h.Stats()
+	if s.Fence != 1 {
+		t.Errorf("fences = %d, want 1 (the barrier)", s.Fence)
+	}
+	if s.Clwb != B {
+		t.Errorf("clwb = %d, want %d (coverage untouched)", s.Clwb, B)
+	}
+	if h.ElidedFences() != B {
+		t.Errorf("elided = %d, want %d", h.ElidedFences(), B)
+	}
+}
+
+// TestGroupIntraOpFenceMaterialises: a fence followed by another
+// Persist within the same op is an ordering fence, not a trailing one —
+// it must retire for real before the next write-back.
+func TestGroupIntraOpFenceMaterialises(t *testing.T) {
+	h := NewFast()
+	defer h.Release()
+	node, slot := h.Alloc(64), h.Alloc(64)
+	h.BeginFenceGroup()
+	h.Persist(node, 0, 64) // build the node
+	h.Fence()              // ordering fence: node before pointer
+	h.Persist(slot, 0, 8)  // install the pointer — must materialise the fence
+	if got := h.Stats().Fence; got != 1 {
+		t.Errorf("fences after install = %d, want 1 (materialised ordering fence)", got)
+	}
+	h.Fence() // trailing fence
+	h.GroupOpBoundary()
+	h.EndFenceGroup()
+	if got := h.Stats().Fence; got != 2 {
+		t.Errorf("fences = %d, want 2 (ordering + barrier)", got)
+	}
+	if h.ElidedFences() != 1 {
+		t.Errorf("elided = %d, want 1 (the trailing fence)", h.ElidedFences())
+	}
+}
+
+// TestGroupTrackerIntegration: inside a group, op boundaries leave the
+// elided commit lines pending (clwb'd, unfenced); the barrier clears
+// them, and an abort leaves them for the power-failure model to see.
+func TestGroupTrackerIntegration(t *testing.T) {
+	h := New(Options{Track: true})
+	defer h.Release()
+	o := h.Alloc(64)
+	h.PersistFence(o, 0, 64) // settle the allocation
+
+	h.BeginFenceGroup()
+	h.Dirty(o, 0, 8)
+	h.Persist(o, 0, 8)
+	h.Fence()
+	h.GroupOpBoundary()
+	if v := h.Tracker().Check(); len(v) != 1 || v[0].Kind != "pending" {
+		t.Fatalf("mid-group violations = %v, want one pending line", v)
+	}
+	h.EndFenceGroup()
+	if v := h.Tracker().Check(); len(v) != 0 {
+		t.Fatalf("post-barrier violations = %v, want none", v)
+	}
+
+	// Abort path: the unfenced line must stay visible as pending.
+	h.BeginFenceGroup()
+	h.Dirty(o, 8, 8)
+	h.Persist(o, 8, 8)
+	h.Fence()
+	h.GroupOpBoundary()
+	h.AbortFenceGroup()
+	if v := h.Tracker().Check(); len(v) != 1 || v[0].Kind != "pending" {
+		t.Fatalf("post-abort violations = %v, want one pending line", v)
+	}
+}
+
+// TestGroupShadowPromotion: unfenced batched lines revert under
+// PolicyRevert after an aborted group, and survive once the barrier
+// promoted them.
+func TestGroupShadowPromotion(t *testing.T) {
+	type rec struct{ v uint64 }
+
+	// Aborted group: the write was clwb'd but never fenced — revert
+	// policy loses it back to the fenced baseline.
+	h := New(Options{Shadow: true})
+	r := &rec{v: 1}
+	o := h.Alloc(64)
+	h.Shadow(o, r)
+	h.PersistFence(o, 0, 8) // baseline v=1 durable
+	h.BeginFenceGroup()
+	r.v = 2
+	h.Dirty(o, 0, 8)
+	h.Persist(o, 0, 8)
+	h.Fence()
+	h.GroupOpBoundary()
+	h.AbortFenceGroup()
+	h.PowerCycle(PolicyRevert, 1)
+	if r.v != 1 {
+		t.Errorf("aborted group: v = %d, want 1 (unfenced write lost)", r.v)
+	}
+	h.Release()
+
+	// Completed group: the barrier promoted the capture — durable.
+	h2 := New(Options{Shadow: true})
+	defer h2.Release()
+	r2 := &rec{v: 1}
+	o2 := h2.Alloc(64)
+	h2.Shadow(o2, r2)
+	h2.PersistFence(o2, 0, 8)
+	h2.BeginFenceGroup()
+	r2.v = 2
+	h2.Dirty(o2, 0, 8)
+	h2.Persist(o2, 0, 8)
+	h2.Fence()
+	h2.GroupOpBoundary()
+	h2.EndFenceGroup()
+	h2.PowerCycle(PolicyRevert, 1)
+	if r2.v != 2 {
+		t.Errorf("completed group: v = %d, want 2 (barrier made it durable)", r2.v)
+	}
+}
+
+// TestGroupMisuse: boundary/end outside a group and nested groups are
+// programming errors and panic; abort is idempotent.
+func TestGroupMisuse(t *testing.T) {
+	h := NewFast()
+	defer h.Release()
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("boundary outside group", h.GroupOpBoundary)
+	expectPanic("end outside group", h.EndFenceGroup)
+	h.BeginFenceGroup()
+	expectPanic("nested begin", h.BeginFenceGroup)
+	h.AbortFenceGroup()
+	h.AbortFenceGroup() // idempotent
+	if h.GroupActive() {
+		t.Error("group still active after abort")
+	}
+}
+
+// TestGroupFenceBarrierInsideGroup: an explicit barrier mid-group
+// absorbs the deferred fence and keeps the group armed.
+func TestGroupFenceBarrierInsideGroup(t *testing.T) {
+	h := NewFast()
+	defer h.Release()
+	o := h.Alloc(64)
+	h.BeginFenceGroup()
+	h.Persist(o, 0, 8)
+	h.Fence()
+	h.FenceBarrier()
+	if !h.GroupActive() {
+		t.Fatal("barrier must not disarm the group")
+	}
+	h.EndFenceGroup()
+	if got := h.Stats().Fence; got != 2 {
+		t.Errorf("fences = %d, want 2 (explicit barrier + closing barrier)", got)
+	}
+	if h.ElidedFences() != 0 {
+		t.Errorf("elided = %d, want 0 (the deferred fence was absorbed, not elided)", h.ElidedFences())
+	}
+}

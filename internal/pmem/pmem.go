@@ -116,6 +116,10 @@ type Heap struct {
 	inj        *crash.Injector
 	delayClwb  int
 	delayFence int
+
+	// group is the deferred-fence batching mode (group.go). Zero value =
+	// inactive; Persist and Fence check it with one predictable branch.
+	group groupState
 }
 
 // New returns a heap configured by opts.
@@ -183,8 +187,9 @@ func (h *Heap) Release() {
 		return
 	}
 	// Drop per-heap testing state so nothing stale (dirty/pending lines,
-	// shadow images pinning index nodes) survives into a reused heap slot
-	// or outlives the heap via the pool.
+	// shadow images pinning index nodes, an open fence group) survives
+	// into a reused heap slot or outlives the heap via the pool.
+	h.AbortFenceGroup()
 	if h.tracker != nil {
 		h.tracker.Reset()
 	}
@@ -249,6 +254,9 @@ func (h *Heap) Alloc(size uintptr) Obj {
 // spanned cache line. It does not order stores; callers must issue Fence
 // at the points the converted index requires.
 func (h *Heap) Persist(o Obj, off, size uintptr) {
+	// A fence deferred by group mode retires before any new write-back,
+	// preserving intra-operation ordering exactly (group.go).
+	h.materialisePending()
 	if size == 0 {
 		return
 	}
@@ -277,7 +285,20 @@ func (h *Heap) Persist(o Obj, off, size uintptr) {
 }
 
 // Fence simulates mfence: all previously issued clwbs become durable.
+// Inside a fence group (BeginFenceGroup) the fence is deferred instead:
+// the next Persist materialises it, or the op boundary elides it if it
+// was the operation's trailing fence (group.go).
 func (h *Heap) Fence() {
+	if h.group.active {
+		h.group.pending = true
+		return
+	}
+	h.fenceReal()
+}
+
+// fenceReal is the unconditional fence: counter, latency, tracker and
+// shadow promotion.
+func (h *Heap) fenceReal() {
 	if h.shared {
 		h.sFence.Add(1)
 	} else {

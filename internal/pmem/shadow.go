@@ -403,6 +403,10 @@ func (h *Heap) PowerCycle(policy Policy, seed int64) CycleReport {
 	if h.shadow == nil {
 		panic("pmem: PowerCycle requires a heap with Options.Shadow")
 	}
+	// A power loss ends any fence group mid-batch: the group's unfenced
+	// lines are already in the tracker's pending/dirty sets and get
+	// classified below; the mode itself does not survive the restart.
+	h.AbortFenceGroup()
 	s := h.shadow
 	rng := rand.New(rand.NewSource(seed))
 	rep := CycleReport{Policy: policy, Seed: seed}

@@ -61,12 +61,24 @@ func capFor(n int) int {
 
 func nodeBytes(capacity int) uintptr { return uintptr(16 + capacity*9) }
 
-// Index is a WOART tree guarded by a global reader/writer lock.
+// rootSlot is the tree's only top-level persistent object: the 8-byte
+// root pointer the commit stores write. It exists as its own struct so
+// shadow registration covers a pure-persistent value — the volatile
+// Index (its sync.RWMutex, its cached count) is never a shadow target
+// and can never be captured into, or restored out of, a power-failure
+// image.
+type rootSlot struct {
+	root any
+}
+
+// Index is a WOART tree guarded by a global reader/writer lock. The
+// lock and the key count are volatile state, rebuilt on recovery; the
+// persistent root pointer lives in slot.
 type Index struct {
 	heap   *pmem.Heap
 	rootPM pmem.Obj
 	mu     sync.RWMutex
-	root   any
+	slot   rootSlot
 	count  int
 }
 
@@ -74,9 +86,7 @@ type Index struct {
 func New(heap *pmem.Heap) *Index {
 	idx := &Index{heap: heap}
 	idx.rootPM = heap.Alloc(64)
-	// Register only the root slot: the Index struct holds a sync.RWMutex,
-	// which must never be captured or restored.
-	heap.Shadow(idx.rootPM, &idx.root)
+	heap.Shadow(idx.rootPM, &idx.slot)
 	heap.PersistFence(idx.rootPM, 0, 64)
 	return idx
 }
@@ -118,7 +128,7 @@ func (n *node) find(b byte) int {
 func (idx *Index) Lookup(key []byte) (uint64, bool) {
 	idx.mu.RLock()
 	defer idx.mu.RUnlock()
-	cur := idx.root
+	cur := idx.slot.root
 	depth := 0
 	for cur != nil {
 		switch c := cur.(type) {
@@ -159,16 +169,16 @@ func (idx *Index) Insert(key []byte, value uint64) (err error) {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
 	defer recoverCrash(&err)
-	if idx.root == nil {
+	if idx.slot.root == nil {
 		l := idx.newLeaf(key, value)
-		idx.root = l
+		idx.slot.root = l
 		idx.heap.Dirty(idx.rootPM, 0, 8)
 		idx.heap.PersistFence(idx.rootPM, 0, 8)
 		idx.heap.CrashPoint("woart.insert.root")
 		idx.count++
 		return nil
 	}
-	added, err := idx.insert(&idx.root, idx.root, 0, key, value)
+	added, err := idx.insert(&idx.slot.root, idx.slot.root, 0, key, value)
 	if err != nil {
 		return err
 	}
@@ -278,9 +288,9 @@ func (idx *Index) Delete(key []byte) (deleted bool, err error) {
 	idx.mu.Lock()
 	defer idx.mu.Unlock()
 	defer recoverCrash(&err)
-	if l, ok := idx.root.(*leaf); ok {
+	if l, ok := idx.slot.root.(*leaf); ok {
 		if bytes.Equal(l.key, key) {
-			idx.root = nil
+			idx.slot.root = nil
 			idx.heap.Dirty(idx.rootPM, 0, 8)
 			idx.heap.PersistFence(idx.rootPM, 0, 8)
 			idx.count--
@@ -288,7 +298,7 @@ func (idx *Index) Delete(key []byte) (deleted bool, err error) {
 		}
 		return false, nil
 	}
-	n, _ := idx.root.(*node)
+	n, _ := idx.slot.root.(*node)
 	depth := 0
 	for n != nil {
 		if len(n.prefix) > 0 {
@@ -383,7 +393,7 @@ func (idx *Index) Scan(start []byte, count int, fn func(key []byte, value uint64
 		}
 		return true
 	}
-	walk(idx.root, len(start) > 0)
+	walk(idx.slot.root, len(start) > 0)
 	return visited
 }
 

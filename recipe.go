@@ -35,6 +35,7 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/crash"
+	"repro/internal/group"
 	"repro/internal/harness"
 	"repro/internal/keys"
 	"repro/internal/pmem"
@@ -376,6 +377,124 @@ func LossyCampaignOrdered(name string, factory func(*Heap) OrderedIndex, kind Ke
 // LossyCampaignHash is LossyCampaignOrdered for unordered indexes.
 func LossyCampaignHash(name string, factory func(*Heap) HashIndex, policy CyclePolicy, seed int64, loadN, postN, workers int) LossyCampaignReport {
 	return harness.LossyCampaignHash(name, factory, policy, seed, loadN, postN, workers)
+}
+
+// ByteOp is one write in an ordered group commit: an insert or (with
+// Update set) an in-place update. Slices of ByteOp feed
+// (*ShardedOrdered).ApplyBatch, which coalesces the ops' trailing
+// fences into one per shard while keeping each op's write-back
+// coverage intact.
+type ByteOp = group.ByteOp
+
+// U64Op is ByteOp for unordered (uint64-keyed) indexes.
+type U64Op = group.U64Op
+
+// GroupObserver receives acknowledgement callbacks during an observed
+// group commit: obs(i) after op i is applied, and once more with the
+// last applied index after the covering fence retires — only then are
+// the ops durably acknowledged.
+type GroupObserver = group.Observer
+
+// GroupError reports a group commit that stopped early: Applied ops
+// were applied (durable only once a covering fence retired), the rest
+// were not attempted.
+type GroupError = group.Error
+
+// The crash sites a group commit passes through, swept by the batched
+// campaigns: after each op is applied (fence still deferred) and after
+// the group's single covering fence.
+const (
+	SiteGroupOpApplied    = group.SiteOpApplied
+	SiteGroupCommitFenced = group.SiteCommitFenced
+)
+
+// BatchError reports a sharded batch whose sub-batches partially
+// failed: ops routed to healthy shards committed, Failed carries one
+// SubBatchError per failing shard. errors.Is sees through it to each
+// cause (e.g. ErrShardUnavailable).
+type BatchError = shard.BatchError
+
+// SubBatchError is one shard's failure inside a BatchError: the shard
+// number, the batch positions routed to it, and how many of them were
+// applied before the error.
+type SubBatchError = shard.SubBatchError
+
+// Deferred is a group-commit combiner for one writer: Insert/Update
+// queue writes and flush them as a fence-coalesced batch when limit is
+// reached or Flush is called. Not safe for concurrent use; each writer
+// thread owns its own Deferred.
+type Deferred = shard.Deferred
+
+// DeferredHash is Deferred for unordered indexes.
+type DeferredHash = shard.DeferredHash
+
+// NewDeferredWriter returns a combiner batching up to limit writes per
+// group commit against m.
+func NewDeferredWriter(m *ShardedOrdered, limit int) *Deferred {
+	return shard.NewDeferred(m, limit)
+}
+
+// NewDeferredHashWriter is NewDeferredWriter for unordered indexes.
+func NewDeferredHashWriter(m *ShardedHash, limit int) *DeferredHash {
+	return shard.NewDeferredHash(m, limit)
+}
+
+// RunOrderedWorkloadBatched is RunOrderedWorkload with writes routed
+// through per-thread group-commit combiners of the given batch size:
+// trailing fences coalesce to one per batch per shard, and reads that
+// could target a thread's own pending writes flush first.
+func RunOrderedWorkloadBatched(name string, m *ShardedOrdered, gen *KeyGenerator, w Workload, loadN, opN, threads, batch int, seed int64) (Result, error) {
+	return harness.RunOrderedBatched(name, m, gen, w, loadN, opN, threads, batch, seed)
+}
+
+// RunHashWorkloadBatched is RunOrderedWorkloadBatched for unordered
+// indexes (scan workloads are rejected).
+func RunHashWorkloadBatched(name string, m *ShardedHash, gen *KeyGenerator, w Workload, loadN, opN, threads, batch int, seed int64) (Result, error) {
+	return harness.RunHashBatched(name, m, gen, w, loadN, opN, threads, batch, seed)
+}
+
+// AttributeOrderedWorkloadBatched is AttributeOrderedWorkload through
+// the batched write path: every counter delta, including each group's
+// single covering fence, is charged to the op kind that caused it, and
+// the result conserves bit-exactly against the aggregate delta.
+func AttributeOrderedWorkloadBatched(m *ShardedOrdered, gen *KeyGenerator, w Workload, loadN, opN, batch int, seed int64) (Attribution, error) {
+	return harness.AttributeOrderedBatched(m, gen, w, loadN, opN, batch, seed)
+}
+
+// AttributeHashWorkloadBatched is AttributeOrderedWorkloadBatched for
+// unordered indexes.
+func AttributeHashWorkloadBatched(m *ShardedHash, gen *KeyGenerator, w Workload, loadN, opN, batch int, seed int64) (Attribution, error) {
+	return harness.AttributeHashBatched(m, gen, w, loadN, opN, batch, seed)
+}
+
+// LossyCampaignOrderedBatched is LossyCampaignOrdered with the load
+// and post-cycle writes issued as group commits of the given batch
+// size: the sweep also crashes at the group boundary sites
+// (SiteGroupOpApplied, SiteGroupCommitFenced), acknowledgement is per
+// batch, and the in-flight set at a crash is the whole unacknowledged
+// batch — each of its keys must be present with the exact value or
+// absent (batch-atomic PARTIAL), never corrupt.
+func LossyCampaignOrderedBatched(name string, factory func(*Heap) OrderedIndex, kind KeyKind, policy CyclePolicy, seed int64, loadN, postN, batch, workers int) LossyCampaignReport {
+	return harness.LossyCampaignOrderedBatched(name, factory, kind, policy, seed, loadN, postN, batch, workers)
+}
+
+// LossyCampaignHashBatched is LossyCampaignOrderedBatched for
+// unordered indexes.
+func LossyCampaignHashBatched(name string, factory func(*Heap) HashIndex, policy CyclePolicy, seed int64, loadN, postN, batch, workers int) LossyCampaignReport {
+	return harness.LossyCampaignHashBatched(name, factory, policy, seed, loadN, postN, batch, workers)
+}
+
+// DurabilitySitesOrderedBatched is DurabilitySitesOrdered through the
+// batched write path: flush coverage is checked at every acknowledged
+// batch boundary (mid-batch, fences are legitimately deferred).
+func DurabilitySitesOrderedBatched(name string, factory func(*Heap) OrderedIndex, kind KeyKind, loadN, postN, batch, workers int) SiteCampaignReport {
+	return harness.DurabilitySitesOrderedBatched(name, factory, kind, loadN, postN, batch, workers)
+}
+
+// DurabilitySitesHashBatched is DurabilitySitesOrderedBatched for
+// unordered indexes.
+func DurabilitySitesHashBatched(name string, factory func(*Heap) HashIndex, loadN, postN, batch, workers int) SiteCampaignReport {
+	return harness.DurabilitySitesHashBatched(name, factory, loadN, postN, batch, workers)
 }
 
 // ErrShardUnavailable is the sentinel matched by errors.Is for

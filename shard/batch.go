@@ -1,0 +1,386 @@
+// Sharded group commit: a batch of writes against the front-end is
+// partitioned by owning shard (preserving the batch's relative order
+// within each partition) and each sub-batch is applied as one group
+// commit on its shard's private heap (internal/group), so a batch of B
+// same-shard writes pays one covering fence instead of B trailing
+// fences. Sub-batches on different shards are independent crash
+// domains: one shard's failure never blocks another's sub-batch from
+// committing, which is why batch application returns a *BatchError
+// naming exactly the failed sub-batches rather than failing the whole
+// call.
+//
+// A batch that spans a quarantined shard is the canonical partial
+// failure: the quarantined sub-batch is rejected up front with the
+// shard's *ShardUnavailableError as cause, every healthy sub-batch
+// commits durably, and the returned *BatchError matches
+// errors.Is(err, ErrShardUnavailable).
+//
+// Per-shard mutexes (frontend.batchMu) serialise group commits on the
+// same shard, because a heap's fence-group mode is single-writer.
+// Concurrent point writes to a shard with an in-flight batch are NOT
+// serialised against the group — callers that mix batched and
+// unbatched writers on the same shard get the underlying index's
+// concurrency, not group atomicity. The batched harness run loop and
+// the Deferred combiners only ever write through batches.
+package shard
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/group"
+)
+
+// SubBatchError reports one shard's failed sub-batch.
+type SubBatchError struct {
+	// Shard is the partition whose sub-batch failed.
+	Shard int
+	// OpIndices are the original batch indices routed to this shard, in
+	// application order.
+	OpIndices []int
+	// Applied is how many leading operations of this sub-batch were
+	// applied before the failure (group.Error.Applied; 0 when the shard
+	// was quarantined and the sub-batch never started).
+	Applied int
+	// Err is the underlying failure: *ShardUnavailableError for a
+	// quarantined shard, or the *group.Error from the group commit.
+	Err error
+}
+
+func (e *SubBatchError) Error() string {
+	return fmt.Sprintf("shard %d sub-batch (%d ops): %v", e.Shard, len(e.OpIndices), e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As chains.
+func (e *SubBatchError) Unwrap() error { return e.Err }
+
+// BatchError reports a batch that failed on one or more shards. Every
+// sub-batch not listed in Failed committed durably. It participates in
+// errors.Is/As through all failed sub-batches, so
+// errors.Is(err, ErrShardUnavailable) answers "did any part of this
+// batch hit a quarantined shard".
+type BatchError struct {
+	Failed []SubBatchError
+}
+
+func (e *BatchError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "batch failed on %d shard(s): ", len(e.Failed))
+	for i := range e.Failed {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(e.Failed[i].Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes every failed sub-batch to errors.Is/As chains.
+func (e *BatchError) Unwrap() []error {
+	out := make([]error, len(e.Failed))
+	for i := range e.Failed {
+		out[i] = &e.Failed[i]
+	}
+	return out
+}
+
+// subBatch is one shard's slice of a batch: positions into the original
+// ops, in original order.
+type subBatch struct {
+	shard int
+	idxs  []int
+}
+
+// partition groups op positions by owning shard, preserving original
+// order within each shard, and returns the non-empty sub-batches in
+// shard order. route maps an op position to its shard.
+func partition(n, shards int, route func(i int) int) []subBatch {
+	if shards == 1 {
+		idxs := make([]int, n)
+		for i := range idxs {
+			idxs[i] = i
+		}
+		return []subBatch{{shard: 0, idxs: idxs}}
+	}
+	byShard := make([][]int, shards)
+	for i := 0; i < n; i++ {
+		s := route(i)
+		byShard[s] = append(byShard[s], i)
+	}
+	out := make([]subBatch, 0, shards)
+	for s, idxs := range byShard {
+		if len(idxs) > 0 {
+			out = append(out, subBatch{shard: s, idxs: idxs})
+		}
+	}
+	return out
+}
+
+// applyBatch runs the partitioned group commits. apply commits one
+// sub-batch (already serialised under the shard's batch mutex) and
+// returns the group layer's error, if any.
+func (f *frontend[IX]) applyBatch(subs []subBatch, apply func(sb subBatch) error) error {
+	var failed []SubBatchError
+	for _, sb := range subs {
+		if err := f.unavailable(sb.shard); err != nil {
+			failed = append(failed, SubBatchError{
+				Shard: sb.shard, OpIndices: sb.idxs, Applied: 0, Err: err,
+			})
+			continue
+		}
+		f.batchMu[sb.shard].Lock()
+		err := apply(sb)
+		f.batchMu[sb.shard].Unlock()
+		if err != nil {
+			applied := 0
+			if ge, ok := err.(*group.Error); ok {
+				applied = ge.Applied
+			}
+			failed = append(failed, SubBatchError{
+				Shard: sb.shard, OpIndices: sb.idxs, Applied: applied, Err: err,
+			})
+		}
+	}
+	if failed != nil {
+		return &BatchError{Failed: failed}
+	}
+	return nil
+}
+
+// translate wraps a caller observer so sub-batch-relative indices
+// arrive as original batch indices.
+func translate(obs group.Observer, idxs []int) group.Observer {
+	if obs == nil {
+		return nil
+	}
+	return func(i int) { obs(idxs[i]) }
+}
+
+// ApplyBatch applies ops as per-shard group commits: each shard's
+// sub-batch pays one covering fence, and a nil return means every
+// operation of the batch is durable. On failure it returns *BatchError;
+// sub-batches of shards not listed there committed durably. A batch of
+// one op per shard degenerates to the unbatched path, counter-exact.
+func (m *Ordered) ApplyBatch(ops []group.ByteOp) error {
+	return m.ApplyBatchObserved(ops, nil)
+}
+
+// ApplyBatchObserved is ApplyBatch with per-op instrumentation: obs is
+// called with each op's original batch index after that op's group
+// boundary, plus once more per sub-batch with the sub-batch's last
+// index after its covering fence (the group.Observer contract, with
+// indices translated out of sub-batch space).
+func (m *Ordered) ApplyBatchObserved(ops []group.ByteOp, obs group.Observer) error {
+	subs := partition(len(ops), len(m.shards), func(i int) int { return m.route(ops[i].Key) })
+	return m.applyBatch(subs, func(sb subBatch) error {
+		sub := make([]group.ByteOp, len(sb.idxs))
+		for j, i := range sb.idxs {
+			sub[j] = ops[i]
+		}
+		sh := &m.shards[sb.shard]
+		return group.ApplyOrdered(sh.heap, sh.idx, sub, translate(obs, sb.idxs))
+	})
+}
+
+// InsertBatch group-commits keys[i] → values[i] insertions. See
+// ApplyBatch for the durability and error contract.
+func (m *Ordered) InsertBatch(keys [][]byte, values []uint64) error {
+	ops := make([]group.ByteOp, len(keys))
+	for i := range keys {
+		ops[i] = group.ByteOp{Key: keys[i], Value: values[i]}
+	}
+	return m.ApplyBatch(ops)
+}
+
+// UpdateBatch group-commits in-place updates. See ApplyBatch for the
+// durability and error contract.
+func (m *Ordered) UpdateBatch(keys [][]byte, values []uint64) error {
+	ops := make([]group.ByteOp, len(keys))
+	for i := range keys {
+		ops[i] = group.ByteOp{Key: keys[i], Value: values[i], Update: true}
+	}
+	return m.ApplyBatch(ops)
+}
+
+// ApplyBatch applies ops as per-shard group commits on the unordered
+// front-end. See Ordered.ApplyBatch for the contract.
+func (m *Hash) ApplyBatch(ops []group.U64Op) error {
+	return m.ApplyBatchObserved(ops, nil)
+}
+
+// ApplyBatchObserved is ApplyBatch with per-op instrumentation; see
+// Ordered.ApplyBatchObserved.
+func (m *Hash) ApplyBatchObserved(ops []group.U64Op, obs group.Observer) error {
+	subs := partition(len(ops), len(m.shards), func(i int) int { return m.route(ops[i].Key) })
+	return m.applyBatch(subs, func(sb subBatch) error {
+		sub := make([]group.U64Op, len(sb.idxs))
+		for j, i := range sb.idxs {
+			sub[j] = ops[i]
+		}
+		sh := &m.shards[sb.shard]
+		return group.ApplyHash(sh.heap, sh.idx, sub, translate(obs, sb.idxs))
+	})
+}
+
+// InsertBatch group-commits keys[i] → values[i] insertions. See
+// Ordered.ApplyBatch for the contract.
+func (m *Hash) InsertBatch(keys, values []uint64) error {
+	ops := make([]group.U64Op, len(keys))
+	for i := range keys {
+		ops[i] = group.U64Op{Key: keys[i], Value: values[i]}
+	}
+	return m.ApplyBatch(ops)
+}
+
+// UpdateBatch group-commits in-place updates. See Ordered.ApplyBatch
+// for the contract.
+func (m *Hash) UpdateBatch(keys, values []uint64) error {
+	ops := make([]group.U64Op, len(keys))
+	for i := range keys {
+		ops[i] = group.U64Op{Key: keys[i], Value: values[i], Update: true}
+	}
+	return m.ApplyBatch(ops)
+}
+
+// Deferred is a group-flush write combiner for the ordered front-end:
+// writes queue in arrival order and commit as one batch (ApplyBatch)
+// when Flush is called or the queue reaches its limit. Keys are copied
+// at enqueue, so callers may reuse their key buffers — the harness run
+// loops do. A Deferred is not safe for concurrent use; each worker
+// owns one.
+//
+// Nothing queued is durable (or acknowledged) until the flush that
+// carries it returns nil.
+type Deferred struct {
+	m     *Ordered
+	limit int
+	ops   []group.ByteOp
+	buf   []byte // arena the queued keys are copied into
+	ins   int    // queued non-update ops
+}
+
+// NewDeferred returns a combiner flushing into m, auto-flushing when
+// limit ops are queued (limit < 1 selects 1, i.e. write-through).
+func NewDeferred(m *Ordered, limit int) *Deferred {
+	if limit < 1 {
+		limit = 1
+	}
+	return &Deferred{m: m, limit: limit}
+}
+
+// Insert queues an insertion, flushing first if the queue is full. The
+// returned error is a flush error (see Flush); the new op is queued
+// regardless.
+func (d *Deferred) Insert(key []byte, value uint64) error {
+	return d.queue(key, value, false)
+}
+
+// Update queues an in-place update, flushing first if the queue is
+// full.
+func (d *Deferred) Update(key []byte, value uint64) error {
+	return d.queue(key, value, true)
+}
+
+func (d *Deferred) queue(key []byte, value uint64, update bool) error {
+	var err error
+	if len(d.ops) >= d.limit {
+		err = d.Flush()
+	}
+	n := len(d.buf)
+	d.buf = append(d.buf, key...)
+	if !update {
+		d.ins++
+	}
+	d.ops = append(d.ops, group.ByteOp{Key: d.buf[n:len(d.buf):len(d.buf)], Value: value, Update: update})
+	return err
+}
+
+// Pending returns the number of queued, unflushed ops.
+func (d *Deferred) Pending() int { return len(d.ops) }
+
+// HasInserts reports whether any queued op is an insertion — the read
+// paths flush before reads that could observe a queued insert.
+func (d *Deferred) HasInserts() bool { return d.ins > 0 }
+
+// Flush group-commits the queued ops and empties the queue. A nil
+// return means everything previously queued is durable. On error
+// (*BatchError) the failed sub-batches were not acknowledged; the
+// queue is emptied either way — group commit has no retry slot for
+// half-applied sub-batches.
+func (d *Deferred) Flush() error { return d.FlushObserved(nil) }
+
+// FlushObserved is Flush with the observer forwarded to
+// ApplyBatchObserved; obs receives queue positions (0-based enqueue
+// order of this flush).
+func (d *Deferred) FlushObserved(obs group.Observer) error {
+	if len(d.ops) == 0 {
+		return nil
+	}
+	err := d.m.ApplyBatchObserved(d.ops, obs)
+	d.ops = d.ops[:0]
+	d.buf = d.buf[:0]
+	d.ins = 0
+	return err
+}
+
+// DeferredHash is Deferred for the unordered front-end.
+type DeferredHash struct {
+	m     *Hash
+	limit int
+	ops   []group.U64Op
+	ins   int
+}
+
+// NewDeferredHash returns a combiner flushing into m, auto-flushing
+// when limit ops are queued (limit < 1 selects 1).
+func NewDeferredHash(m *Hash, limit int) *DeferredHash {
+	if limit < 1 {
+		limit = 1
+	}
+	return &DeferredHash{m: m, limit: limit}
+}
+
+// Insert queues an insertion, flushing first if the queue is full.
+func (d *DeferredHash) Insert(key, value uint64) error {
+	return d.queue(key, value, false)
+}
+
+// Update queues an in-place update, flushing first if the queue is
+// full.
+func (d *DeferredHash) Update(key, value uint64) error {
+	return d.queue(key, value, true)
+}
+
+func (d *DeferredHash) queue(key, value uint64, update bool) error {
+	var err error
+	if len(d.ops) >= d.limit {
+		err = d.Flush()
+	}
+	if !update {
+		d.ins++
+	}
+	d.ops = append(d.ops, group.U64Op{Key: key, Value: value, Update: update})
+	return err
+}
+
+// Pending returns the number of queued, unflushed ops.
+func (d *DeferredHash) Pending() int { return len(d.ops) }
+
+// HasInserts reports whether any queued op is an insertion.
+func (d *DeferredHash) HasInserts() bool { return d.ins > 0 }
+
+// Flush group-commits the queued ops and empties the queue; see
+// Deferred.Flush.
+func (d *DeferredHash) Flush() error { return d.FlushObserved(nil) }
+
+// FlushObserved is Flush with the observer forwarded; obs receives
+// queue positions.
+func (d *DeferredHash) FlushObserved(obs group.Observer) error {
+	if len(d.ops) == 0 {
+		return nil
+	}
+	err := d.m.ApplyBatchObserved(d.ops, obs)
+	d.ops = d.ops[:0]
+	d.ins = 0
+	return err
+}

@@ -25,6 +25,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -95,6 +96,11 @@ type frontend[IX index] struct {
 	// health tracks per-shard availability; parallel to shards because
 	// its entries hold locks and must never be copied.
 	health []shardHealth
+	// batchMu serialises group commits per shard: a heap's fence-group
+	// mode is single-writer, so batch application holds the owning
+	// shard's mutex for the duration of its sub-batch (see batch.go).
+	// Parallel to shards; entries hold locks and must never be copied.
+	batchMu []sync.Mutex
 	// now overrides the backoff clock in tests; nil selects time.Now.
 	now func() time.Time
 }
@@ -102,8 +108,9 @@ type frontend[IX index] struct {
 // newFrontend builds one (heap, index) pair per shard.
 func newFrontend[IX index](factory func(*pmem.Heap) (IX, error), opts Options) (frontend[IX], error) {
 	f := frontend[IX]{
-		shards: make([]shardOf[IX], opts.shards()),
-		health: newHealth(opts.shards()),
+		shards:  make([]shardOf[IX], opts.shards()),
+		health:  newHealth(opts.shards()),
+		batchMu: make([]sync.Mutex, opts.shards()),
 	}
 	for i := range f.shards {
 		heap := pmem.New(opts.Heap)
