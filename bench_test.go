@@ -413,6 +413,98 @@ func BenchmarkBatchedWrites(b *testing.B) {
 	}
 }
 
+// BenchmarkAsyncPipeline compares the synchronous group-commit write
+// path against the async commit pipeline on the write-heavy workloads
+// A (50/50 insert/read) and F (50/50 read/RMW), on one ordered and one
+// hash index, across per-shard queue depths. The sync baseline batches
+// writes with the same group size the async committer drains
+// (MaxBatch), so the comparison isolates the pipeline itself: enqueue
+// + ack-after-fence futures versus combine-and-wait. Alongside Mops/s
+// and fence/op the async cells report the mean enqueue-to-ack latency
+// (ack-ns) — the price of decoupling the writer from the fence. Crash
+// consistency of the async path is proven by the async lossy and
+// durability-site campaigns (internal/harness TestAsyncLossyMatrix,
+// TestAsyncDurabilitySites).
+func BenchmarkAsyncPipeline(b *testing.B) {
+	const maxBatch = 16
+	heapOpts := pmem.Options{DelayClwb: 40, DelayFence: 20}
+	report := func(b *testing.B, res recipe.Result) {
+		b.ReportMetric(res.MopsPerSec(), "Mops/s")
+		if res.Ops > 0 {
+			b.ReportMetric(float64(res.Stats.Fence)/float64(res.Ops), "fence/op")
+		}
+		if res.AckOps > 0 {
+			b.ReportMetric(float64(res.MeanAckLatency().Nanoseconds()), "ack-ns")
+		}
+	}
+	for _, w := range []ycsb.Workload{ycsb.A, ycsb.F} {
+		b.Run(fmt.Sprintf("P-ART/%s/sync/batch=%d", w.Name, maxBatch), func(b *testing.B) {
+			m, err := recipe.NewShardedOrdered("P-ART", keys.RandInt, recipe.ShardOptions{Heap: heapOpts})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Release()
+			gen := keys.NewGenerator(keys.RandInt)
+			res, err := recipe.RunOrderedWorkloadBatched("P-ART", m, gen, w,
+				benchLoadN, b.N, benchThreads, maxBatch, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			report(b, res)
+		})
+		for _, queue := range []int{64, 1024} {
+			b.Run(fmt.Sprintf("P-ART/%s/async/queue=%d", w.Name, queue), func(b *testing.B) {
+				m, err := recipe.NewShardedOrdered("P-ART", keys.RandInt, recipe.ShardOptions{Heap: heapOpts})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer m.Release()
+				gen := keys.NewGenerator(keys.RandInt)
+				res, err := recipe.RunOrderedWorkloadAsync("P-ART", m, gen, w,
+					benchLoadN, b.N, benchThreads,
+					recipe.CommitOptions{Queue: queue, MaxBatch: maxBatch}, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				report(b, res)
+			})
+		}
+	}
+	for _, w := range []ycsb.Workload{ycsb.A, ycsb.F} {
+		b.Run(fmt.Sprintf("P-CLHT/%s/sync/batch=%d", w.Name, maxBatch), func(b *testing.B) {
+			m, err := recipe.NewShardedHash("P-CLHT", recipe.ShardOptions{Heap: heapOpts})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Release()
+			gen := keys.NewGenerator(keys.RandInt)
+			res, err := recipe.RunHashWorkloadBatched("P-CLHT", m, gen, w,
+				benchLoadN, b.N, benchThreads, maxBatch, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			report(b, res)
+		})
+		for _, queue := range []int{64, 1024} {
+			b.Run(fmt.Sprintf("P-CLHT/%s/async/queue=%d", w.Name, queue), func(b *testing.B) {
+				m, err := recipe.NewShardedHash("P-CLHT", recipe.ShardOptions{Heap: heapOpts})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer m.Release()
+				gen := keys.NewGenerator(keys.RandInt)
+				res, err := recipe.RunHashWorkloadAsync("P-CLHT", m, gen, w,
+					benchLoadN, b.N, benchThreads,
+					recipe.CommitOptions{Queue: queue, MaxBatch: maxBatch}, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				report(b, res)
+			})
+		}
+	}
+}
+
 // BenchmarkSec73_WOART: P-ART vs globally locked WOART (§7.3).
 func BenchmarkSec73_WOART(b *testing.B) {
 	for _, name := range []string{"P-ART", "WOART"} {

@@ -43,16 +43,23 @@ func main() {
 	policyFlag := flag.String("policy", "all", "lossy cycle policy for unfenced write-backs: revert, keep, torn, or all")
 	seed := flag.Int64("seed", 42, "campaign seed (lossy model; torn coin flips derive from it)")
 	batch := flag.Int("batch", 1, "group-commit batch size for the campaigns' write path (1 = per-op fences; >1 crashes inside fence-coalesced group commits too)")
+	async := flag.Bool("async", false, "route campaign writes through the async commit pipeline (enqueue + ack-after-fence futures; -batch sets the committer's queue and drain size) and crash inside its drain loop too")
 	flag.Parse()
 	if *batch < 1 {
 		fmt.Fprintf(os.Stderr, "-batch must be >= 1, got %d\n", *batch)
 		os.Exit(2)
 	}
+	if *async && *batch < 2 {
+		// A 1-deep queue acks per op; the interesting async crashes need
+		// multi-op batches in flight, so default to the group size the
+		// batched campaigns use.
+		*batch = 8
+	}
 
 	switch *model {
 	case "tracker":
 	case "lossy":
-		runLossy(*policyFlag, *seed, *n, *postOps, *workers, *batch)
+		runLossy(*policyFlag, *seed, *n, *postOps, *workers, *batch, *async)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -model %q (want tracker or lossy)\n", *model)
@@ -96,9 +103,12 @@ func main() {
 	if !*sites {
 		return
 	}
-	if *batch > 1 {
+	switch {
+	case *async:
+		fmt.Printf("\n=== §5 durability across crash sites (async commit pipeline, queue/batch %d): crash, recover, %d traced post-crash inserts per site ===\n\n", *batch, *postOps)
+	case *batch > 1:
 		fmt.Printf("\n=== §5 durability across crash sites (batched, group size %d): crash, recover, %d traced post-crash inserts per site ===\n\n", *batch, *postOps)
-	} else {
+	default:
 		fmt.Printf("\n=== §5 durability across crash sites: crash, recover, %d traced post-crash inserts per site ===\n\n", *postOps)
 	}
 	for _, name := range []string{"P-ART", "P-HOT", "P-BwTree", "P-Masstree", "FAST & FAIR", "WOART"} {
@@ -111,9 +121,12 @@ func main() {
 			return idx
 		}
 		var rep harness.SiteCampaignReport
-		if *batch > 1 {
+		switch {
+		case *async:
+			rep = harness.DurabilitySitesOrderedAsync(name, factory, keys.RandInt, *n, *postOps, *batch, *workers)
+		case *batch > 1:
 			rep = harness.DurabilitySitesOrderedBatched(name, factory, keys.RandInt, *n, *postOps, *batch, *workers)
-		} else {
+		default:
 			rep = harness.DurabilitySitesOrdered(name, factory, keys.RandInt, *n, *postOps, *workers)
 		}
 		printSites(rep)
@@ -128,9 +141,12 @@ func main() {
 			return idx
 		}
 		var rep harness.SiteCampaignReport
-		if *batch > 1 {
+		switch {
+		case *async:
+			rep = harness.DurabilitySitesHashAsync(name, factory, *n, *postOps, *batch, *workers)
+		case *batch > 1:
 			rep = harness.DurabilitySitesHashBatched(name, factory, *n, *postOps, *batch, *workers)
-		} else {
+		default:
 			rep = harness.DurabilitySitesHash(name, factory, *n, *postOps, *workers)
 		}
 		printSites(rep)
@@ -143,8 +159,10 @@ func main() {
 // must surface as LOST-ACK/CORRUPT under the revert policy. With
 // batch > 1 the writes go through the group-commit layer, so the sweep
 // also crashes at the group boundary sites and acknowledgement is
-// per batch.
-func runLossy(policyFlag string, seed int64, loadN, postN, workers, batch int) {
+// per batch. With async the writes go through the async commit
+// pipeline instead: acknowledgement is per future (ack-after-fence),
+// and the sweep crashes inside the committer drain loop too.
+func runLossy(policyFlag string, seed int64, loadN, postN, workers, batch int, async bool) {
 	var policies []pmem.Policy
 	if policyFlag == "all" {
 		policies = pmem.Policies
@@ -157,9 +175,12 @@ func runLossy(policyFlag string, seed int64, loadN, postN, workers, batch int) {
 		policies = []pmem.Policy{p}
 	}
 
-	if batch > 1 {
+	switch {
+	case async:
+		fmt.Printf("=== lossy power-failure campaign (async commit pipeline, queue/batch %d): crash at every site, power-cycle, recover, verify per-future acks (seed %d) ===\n\n", batch, seed)
+	case batch > 1:
 		fmt.Printf("=== lossy power-failure campaign (batched, group size %d): crash at every site, power-cycle, recover, verify (seed %d) ===\n\n", batch, seed)
-	} else {
+	default:
 		fmt.Printf("=== lossy power-failure campaign: crash at every site, power-cycle, recover, verify (seed %d) ===\n\n", seed)
 	}
 	failed := false
@@ -174,9 +195,12 @@ func runLossy(policyFlag string, seed int64, loadN, postN, workers, batch int) {
 				return idx
 			}
 			var rep harness.LossyCampaignReport
-			if batch > 1 {
+			switch {
+			case async:
+				rep = harness.LossyCampaignOrderedAsync(name, factory, keys.RandInt, policy, seed, loadN, postN, batch, workers)
+			case batch > 1:
 				rep = harness.LossyCampaignOrderedBatched(name, factory, keys.RandInt, policy, seed, loadN, postN, batch, workers)
-			} else {
+			default:
 				rep = harness.LossyCampaignOrdered(name, factory, keys.RandInt, policy, seed, loadN, postN, workers)
 			}
 			failed = printLossy(rep) || failed
@@ -191,9 +215,12 @@ func runLossy(policyFlag string, seed int64, loadN, postN, workers, batch int) {
 				return idx
 			}
 			var rep harness.LossyCampaignReport
-			if batch > 1 {
+			switch {
+			case async:
+				rep = harness.LossyCampaignHashAsync(name, factory, policy, seed, loadN, postN, batch, workers)
+			case batch > 1:
 				rep = harness.LossyCampaignHashBatched(name, factory, policy, seed, loadN, postN, batch, workers)
-			} else {
+			default:
 				rep = harness.LossyCampaignHash(name, factory, policy, seed, loadN, postN, workers)
 			}
 			failed = printLossy(rep) || failed

@@ -37,7 +37,9 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
+	"repro/internal/commit"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/keys"
@@ -62,6 +64,24 @@ type config struct {
 	// non-nil (-dist); nil keeps each workload row's own default
 	// (uniform for the Table 3 rows, latest for D, zipfian for F).
 	dist ycsb.Distribution
+	// async routes -workloads writes through the per-shard async
+	// commit pipeline: writers enqueue and receive futures resolved
+	// only after the covering fence retires (ack-after-fence).
+	async bool
+	// queue is the per-shard bounded queue capacity in async mode
+	// (0 = commit.DefaultQueue).
+	queue int
+	// flush bounds staleness in async mode: the longest a queued op
+	// waits before the committer flushes a short batch (0 = commit
+	// whatever is queued immediately).
+	flush time.Duration
+}
+
+// commitOpts builds the async pipeline configuration from the flags:
+// -queue caps admitted-but-uncommitted ops, -batch doubles as the
+// drain's MaxBatch, -flushns bounds staleness.
+func (c config) commitOpts() commit.Options {
+	return commit.Options{Queue: c.queue, MaxBatch: c.batch, FlushInterval: c.flush}
 }
 
 // workloadFor returns w with the -dist override applied.
@@ -86,6 +106,9 @@ func main() {
 		scanBatch  = flag.Int("scanbatch", 0, "per-shard batch size for streaming merged scans (0 = default)")
 		batch      = flag.Int("batch", 1, "group-commit batch size for -workloads mode writes (1 = per-op fences; >1 coalesces each batch's trailing fences into one per shard)")
 		workloads  = flag.String("workloads", "", `comma-separated YCSB workloads to run on every index, sharded and unsharded (e.g. "D,F" or "A,B,C,D,E,F"); empty = run -figure instead`)
+		async      = flag.Bool("async", false, "-workloads mode: route writes through the per-shard async commit pipeline (enqueue + ack-after-fence futures); adds an ack-ns column")
+		queue      = flag.Int("queue", 0, "async per-shard queue capacity (admitted but uncommitted ops; 0 = default)")
+		flushNS    = flag.Int64("flushns", 0, "async flush deadline in nanoseconds bounding staleness of short batches (0 = commit immediately)")
 		distName   = flag.String("dist", "", `request distribution override: "uniform", "zipfian" or "latest"; empty = each workload's default (uniform; latest for D, zipfian for F)`)
 		theta      = flag.Float64("theta", ycsb.DefaultTheta, "skew parameter in (0,1) for -dist zipfian/latest")
 	)
@@ -112,6 +135,7 @@ func main() {
 		loadN: *loadN, opN: *opN, threads: *threads, seed: *seed,
 		heap:   pmem.Options{DelayClwb: *clwbDelay, DelayFence: *fenceDelay},
 		shards: *shards, part: part, scanBatch: *scanBatch, batch: *batch, dist: dist,
+		async: *async, queue: *queue, flush: time.Duration(*flushNS),
 	}
 	if cfg.batch < 1 {
 		fmt.Fprintf(os.Stderr, "-batch must be >= 1, got %d\n", cfg.batch)
@@ -119,6 +143,18 @@ func main() {
 	}
 	if cfg.batch > 1 && *workloads == "" {
 		fmt.Fprintln(os.Stderr, "-batch > 1 requires -workloads (the figure runners measure the paper's per-op write path)")
+		os.Exit(2)
+	}
+	if cfg.async && *workloads == "" {
+		fmt.Fprintln(os.Stderr, "-async requires -workloads (the figure runners measure the paper's per-op write path)")
+		os.Exit(2)
+	}
+	if (cfg.queue != 0 || cfg.flush != 0) && !cfg.async {
+		fmt.Fprintln(os.Stderr, "-queue and -flushns require -async")
+		os.Exit(2)
+	}
+	if cfg.queue < 0 || cfg.flush < 0 {
+		fmt.Fprintln(os.Stderr, "-queue and -flushns must be >= 0")
 		os.Exit(2)
 	}
 
@@ -294,8 +330,16 @@ func runWorkloads(list string, cfg config) {
 	if cfg.dist != nil {
 		distNote = cfg.dist.Name()
 	}
-	fmt.Printf("\n=== YCSB workloads %s · dist=%s · %d threads · load %d + run %d · H ∈ {1, %d} · batch %d ===\n",
-		list, distNote, cfg.threads, cfg.loadN, cfg.opN, sharded, cfg.batch)
+	mode := fmt.Sprintf("batch %d", cfg.batch)
+	if cfg.async {
+		q := cfg.queue
+		if q < 1 {
+			q = commit.DefaultQueue
+		}
+		mode = fmt.Sprintf("async · queue %d · batch %d · flush %v", q, cfg.batch, cfg.flush)
+	}
+	fmt.Printf("\n=== YCSB workloads %s · dist=%s · %d threads · load %d + run %d · H ∈ {1, %d} · %s ===\n",
+		list, distNote, cfg.threads, cfg.loadN, cfg.opN, sharded, mode)
 	orderedNames := append(append([]string{}, core.OrderedNames...), "WOART")
 	for _, base := range wls {
 		w := cfg.workloadFor(base)
@@ -306,6 +350,9 @@ func runWorkloads(list string, cfg config) {
 		fmt.Printf("\n-- Workload %s · %s · dist=%s · %s --\n", w.Name, w.Description, dist, w.AppPattern)
 		kinds := kindsOf(w)
 		fmt.Printf("%-14s %2s %9s %9s", "Index", "H", "Mops/s", "fence/op")
+		if cfg.async {
+			fmt.Printf(" %9s", "ack-ns")
+		}
 		for _, k := range kinds {
 			fmt.Printf(" %12s %12s", "clwb/"+k.String(), "fence/"+k.String())
 		}
@@ -352,9 +399,12 @@ func workloadCellOrdered(name string, w ycsb.Workload, cfg config, kinds []ycsb.
 	before := m.ShardStats()
 	aggBefore := m.Stats()
 	var res harness.Result
-	if cfg.batch > 1 {
+	switch {
+	case cfg.async:
+		res, err = harness.RunOrderedAsync(name, m, gen, w, cfg.loadN, cfg.opN, cfg.threads, cfg.commitOpts(), cfg.seed)
+	case cfg.batch > 1:
 		res, err = harness.RunOrderedBatched(name, m, gen, w, cfg.loadN, cfg.opN, cfg.threads, cfg.batch, cfg.seed)
-	} else {
+	default:
 		res, err = harness.RunOrdered(name, m, gen, m, w, cfg.loadN, cfg.opN, cfg.threads, cfg.seed)
 	}
 	if err != nil {
@@ -381,9 +431,12 @@ func workloadCellOrdered(name string, w ycsb.Workload, cfg config, kinds []ycsb.
 	}
 	attrLoadN, attrOpN := attrSizes(cfg)
 	var attr harness.Attribution
-	if cfg.batch > 1 {
+	switch {
+	case cfg.async:
+		attr, err = harness.AttributeOrderedAsync(am, gen, w, attrLoadN, attrOpN, cfg.commitOpts(), cfg.seed+1)
+	case cfg.batch > 1:
 		attr, err = harness.AttributeOrderedBatched(am, gen, w, attrLoadN, attrOpN, cfg.batch, cfg.seed+1)
-	} else {
+	default:
 		attr, err = harness.AttributeOrdered(am, gen, am, w, attrLoadN, attrOpN, cfg.seed+1)
 	}
 	am.Release()
@@ -395,7 +448,7 @@ func workloadCellOrdered(name string, w ycsb.Workload, cfg config, kinds []ycsb.
 		fmt.Fprintf(os.Stderr, "\n%s/%s: per-op-kind stats do not conserve against aggregate counters\n", name, w.Name)
 		os.Exit(1)
 	}
-	printWorkloadRow(name, cfg.shards, res, attr, kinds)
+	printWorkloadRow(name, cfg, res, attr, kinds)
 }
 
 // workloadCellHash is workloadCellOrdered for unordered indexes.
@@ -409,9 +462,12 @@ func workloadCellHash(name string, w ycsb.Workload, cfg config, kinds []ycsb.OpK
 	before := m.ShardStats()
 	aggBefore := m.Stats()
 	var res harness.Result
-	if cfg.batch > 1 {
+	switch {
+	case cfg.async:
+		res, err = harness.RunHashAsync(name, m, gen, w, cfg.loadN, cfg.opN, cfg.threads, cfg.commitOpts(), cfg.seed)
+	case cfg.batch > 1:
 		res, err = harness.RunHashBatched(name, m, gen, w, cfg.loadN, cfg.opN, cfg.threads, cfg.batch, cfg.seed)
-	} else {
+	default:
 		res, err = harness.RunHash(name, m, gen, m, w, cfg.loadN, cfg.opN, cfg.threads, cfg.seed)
 	}
 	if err != nil {
@@ -428,9 +484,12 @@ func workloadCellHash(name string, w ycsb.Workload, cfg config, kinds []ycsb.OpK
 	}
 	attrLoadN, attrOpN := attrSizes(cfg)
 	var attr harness.Attribution
-	if cfg.batch > 1 {
+	switch {
+	case cfg.async:
+		attr, err = harness.AttributeHashAsync(am, gen, w, attrLoadN, attrOpN, cfg.commitOpts(), cfg.seed+1)
+	case cfg.batch > 1:
 		attr, err = harness.AttributeHashBatched(am, gen, w, attrLoadN, attrOpN, cfg.batch, cfg.seed+1)
-	} else {
+	default:
 		attr, err = harness.AttributeHash(am, gen, am, w, attrLoadN, attrOpN, cfg.seed+1)
 	}
 	am.Release()
@@ -442,18 +501,22 @@ func workloadCellHash(name string, w ycsb.Workload, cfg config, kinds []ycsb.OpK
 		fmt.Fprintf(os.Stderr, "\n%s/%s: per-op-kind stats do not conserve against aggregate counters\n", name, w.Name)
 		os.Exit(1)
 	}
-	printWorkloadRow(name, cfg.shards, res, attr, kinds)
+	printWorkloadRow(name, cfg, res, attr, kinds)
 }
 
 // printWorkloadRow prints one -workloads table row: throughput, the
-// measured run phase's aggregate fences per op, plus the attributed
-// clwb/fence per op of each kind in the mix.
-func printWorkloadRow(name string, shards int, res harness.Result, attr harness.Attribution, kinds []ycsb.OpKind) {
+// measured run phase's aggregate fences per op, in async mode the mean
+// enqueue-to-ack latency, plus the attributed clwb/fence per op of
+// each kind in the mix.
+func printWorkloadRow(name string, cfg config, res harness.Result, attr harness.Attribution, kinds []ycsb.OpKind) {
 	fencePerOp := 0.0
 	if res.Ops > 0 {
 		fencePerOp = float64(res.Stats.Fence) / float64(res.Ops)
 	}
-	fmt.Printf("%-14s %2d %9.3f %9.2f", name, shards, res.MopsPerSec(), fencePerOp)
+	fmt.Printf("%-14s %2d %9.3f %9.2f", name, cfg.shards, res.MopsPerSec(), fencePerOp)
+	if cfg.async {
+		fmt.Printf(" %9d", res.MeanAckLatency().Nanoseconds())
+	}
 	for _, k := range kinds {
 		fmt.Printf(" %12.2f %12.2f", attr.ClwbPer(k), attr.FencePer(k))
 	}

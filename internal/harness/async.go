@@ -1,0 +1,603 @@
+// Async execution: the YCSB run loops and the per-op-kind attribution
+// walk driven through the async commit pipeline (internal/commit) —
+// writers enqueue into per-shard bounded queues and receive futures,
+// shard committers drain the queues into group commits, and every
+// future resolves only after its batch's covering fence retired.
+//
+// Read-your-writes under async enqueue follows the batched loops' rule
+// with futures in place of a private combiner: a read-like target is
+// either a loaded identifier (drained before the measured phase) or
+// the same thread's own earlier insert — which the thread tracks in
+// its outstanding-futures window and waits for before reading.
+// Pending in-place updates never force a wait: verification masks
+// value tags (ValueID), so observing the pre-update value is
+// indistinguishable in ID space. Waits double as the enqueue-to-ack
+// latency sample: each waited future's ResolvedAt minus its enqueue
+// time feeds Result.AckOps/AckTotal.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/commit"
+	"repro/internal/group"
+	"repro/internal/keys"
+	"repro/internal/ycsb"
+	"repro/shard"
+)
+
+// asyncWindow caps a worker's outstanding (unwaited) futures; reaching
+// it drains the window so a fast enqueuer cannot hold unbounded
+// future memory on top of the pipeline's own bounded queues.
+const asyncWindow = 1024
+
+// ackWindow is one worker's outstanding-futures window plus its
+// enqueue-to-ack latency accumulator.
+type ackWindow struct {
+	futs       []*commit.Future
+	enq        []time.Time
+	hasInserts bool
+
+	ops   int
+	total time.Duration
+}
+
+// add records one accepted write future. insert marks futures a read
+// of an own-inserted identifier must wait for.
+func (w *ackWindow) add(f *commit.Future, at time.Time, insert bool) {
+	w.futs = append(w.futs, f)
+	w.enq = append(w.enq, at)
+	w.hasInserts = w.hasInserts || insert
+}
+
+// drain waits every outstanding future, sampling ack latency, and
+// returns the first write failure.
+func (w *ackWindow) drain() error {
+	var first error
+	for i, f := range w.futs {
+		if err := f.Wait(); err != nil && first == nil {
+			first = err
+		}
+		if at, ok := f.ResolvedAt(); ok {
+			w.total += at.Sub(w.enq[i])
+			w.ops++
+		}
+	}
+	w.futs = w.futs[:0]
+	w.enq = w.enq[:0]
+	w.hasInserts = false
+	return first
+}
+
+// RunOrderedAsync is RunOrdered through the async commit pipeline:
+// each worker enqueues its writes into the per-shard committers of a
+// commit.Ordered built over m with opts and waits futures only when a
+// read could observe one of its own pending inserts. The measured
+// phase ends at a full pipeline drain (inside the timing), so the
+// Result covers every write's covering fence; the pipeline is closed
+// before returning. Result.AckOps/AckTotal carry the enqueue-to-ack
+// latency sample.
+func RunOrderedAsync(name string, m *shard.Ordered, gen *keys.Generator, w ycsb.Workload, loadN, opN, threads int, opts commit.Options, seed int64) (Result, error) {
+	p := commit.NewOrdered(m, opts)
+	res, err := runOrderedAsync(name, p, m, gen, w, loadN, opN, threads, seed)
+	cerr := p.Close()
+	if err != nil {
+		return Result{}, err
+	}
+	if cerr != nil {
+		return Result{}, fmt.Errorf("pipeline close: %w", cerr)
+	}
+	return res, nil
+}
+
+func runOrderedAsync(name string, p *commit.Ordered, m *shard.Ordered, gen *keys.Generator, w ycsb.Workload, loadN, opN, threads int, seed int64) (Result, error) {
+	load := ycsb.GenerateLoad(loadN, threads)
+	if _, _, err := execOrderedAsync(p, m, gen, load); err != nil {
+		return Result{}, fmt.Errorf("load phase: %w", err)
+	}
+	// Quiesce: the measured phase starts with every loaded key durable.
+	if err := p.Drain(); err != nil {
+		return Result{}, fmt.Errorf("load drain: %w", err)
+	}
+	plan := ycsb.Generate(w, loadN, opN, threads, seed)
+	before := m.Stats()
+	start := time.Now()
+	ackOps, ackTotal, err := execOrderedAsync(p, m, gen, plan)
+	if err == nil {
+		// The drain is part of the measured phase: throughput and the
+		// counter delta cover every measured write's covering fence.
+		err = p.Drain()
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, fmt.Errorf("run phase: %w", err)
+	}
+	return Result{
+		Index: name, Workload: w.Name, KeyKind: gen.Kind(), Threads: threads,
+		Ops: plan.TotalOps(), Elapsed: elapsed, Stats: m.Stats().Sub(before),
+		Inserts: plan.Inserts, Counts: plan.Counts,
+		AckOps: ackOps, AckTotal: ackTotal,
+	}, nil
+}
+
+// RunHashAsync is RunOrderedAsync for the unordered front-end (integer
+// keys; scan ops are invalid).
+func RunHashAsync(name string, m *shard.Hash, gen *keys.Generator, w ycsb.Workload, loadN, opN, threads int, opts commit.Options, seed int64) (Result, error) {
+	if w.ScanPct > 0 {
+		return Result{}, fmt.Errorf("harness: workload %s has scans; unordered indexes do not support them", w.Name)
+	}
+	p := commit.NewHash(m, opts)
+	res, err := runHashAsync(name, p, m, gen, w, loadN, opN, threads, seed)
+	cerr := p.Close()
+	if err != nil {
+		return Result{}, err
+	}
+	if cerr != nil {
+		return Result{}, fmt.Errorf("pipeline close: %w", cerr)
+	}
+	return res, nil
+}
+
+func runHashAsync(name string, p *commit.Hash, m *shard.Hash, gen *keys.Generator, w ycsb.Workload, loadN, opN, threads int, seed int64) (Result, error) {
+	load := ycsb.GenerateLoad(loadN, threads)
+	if _, _, err := execHashAsync(p, m, gen, load); err != nil {
+		return Result{}, fmt.Errorf("load phase: %w", err)
+	}
+	if err := p.Drain(); err != nil {
+		return Result{}, fmt.Errorf("load drain: %w", err)
+	}
+	plan := ycsb.Generate(w, loadN, opN, threads, seed)
+	before := m.Stats()
+	start := time.Now()
+	ackOps, ackTotal, err := execHashAsync(p, m, gen, plan)
+	if err == nil {
+		err = p.Drain()
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, fmt.Errorf("run phase: %w", err)
+	}
+	return Result{
+		Index: name, Workload: w.Name, KeyKind: gen.Kind(), Threads: threads,
+		Ops: plan.TotalOps(), Elapsed: elapsed, Stats: m.Stats().Sub(before),
+		Inserts: plan.Inserts, Counts: plan.Counts,
+		AckOps: ackOps, AckTotal: ackTotal,
+	}, nil
+}
+
+// execOrderedAsync runs a plan against the ordered pipeline, one
+// goroutine per thread stream, each owning a private futures window.
+// It returns the summed ack-latency sample across threads.
+func execOrderedAsync(p *commit.Ordered, m *shard.Ordered, gen *keys.Generator, plan *ycsb.Plan) (int, time.Duration, error) {
+	var wg sync.WaitGroup
+	errs := make([]error, len(plan.Threads))
+	windows := make([]ackWindow, len(plan.Threads))
+	loadN := uint64(plan.LoadN)
+	for t := range plan.Threads {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wdw := &windows[t]
+			buf := make([]byte, 0, 32)
+			for _, op := range plan.Threads[t] {
+				buf = gen.AppendKey(buf[:0], op.ID)
+				var err error
+				switch op.Kind {
+				case ycsb.OpInsert:
+					err = asyncWrite(wdw, func() (*commit.Future, error) { return p.Insert(buf, op.ID) }, true)
+				case ycsb.OpUpdate:
+					err = asyncWrite(wdw, func() (*commit.Future, error) { return p.Update(buf, op.ID|UpdateBit) }, false)
+				case ycsb.OpRead:
+					// Only an own earlier insert (ID >= LoadN) can still be
+					// unresolved; loaded identifiers drained with the load.
+					if op.ID >= loadN && wdw.hasInserts {
+						err = wdw.drain()
+					}
+					if err == nil {
+						if v, ok := m.Lookup(buf); !ok || ValueID(v) != op.ID {
+							err = fmt.Errorf("read id %d: got %d,%v", op.ID, v, ok)
+						}
+					}
+				case ycsb.OpRMW:
+					if op.ID >= loadN && wdw.hasInserts {
+						err = wdw.drain()
+					}
+					if err == nil {
+						v, ok := m.Lookup(buf)
+						if !ok || ValueID(v) != op.ID {
+							err = fmt.Errorf("rmw read id %d: got %d,%v", op.ID, v, ok)
+						} else {
+							err = asyncWrite(wdw, func() (*commit.Future, error) { return p.Update(buf, v|RMWBit) }, false)
+						}
+					}
+				case ycsb.OpScan:
+					if wdw.hasInserts {
+						err = wdw.drain()
+					}
+					if err == nil {
+						m.Scan(buf, op.ScanLen, func([]byte, uint64) bool { return true })
+					}
+				}
+				if err != nil {
+					errs[t] = err
+					return
+				}
+			}
+			errs[t] = wdw.drain()
+		}()
+	}
+	wg.Wait()
+	ops, total := 0, time.Duration(0)
+	for i := range windows {
+		ops += windows[i].ops
+		total += windows[i].total
+	}
+	for _, err := range errs {
+		if err != nil {
+			return ops, total, err
+		}
+	}
+	return ops, total, nil
+}
+
+// execHashAsync runs a plan against the unordered pipeline.
+func execHashAsync(p *commit.Hash, m *shard.Hash, gen *keys.Generator, plan *ycsb.Plan) (int, time.Duration, error) {
+	var wg sync.WaitGroup
+	errs := make([]error, len(plan.Threads))
+	windows := make([]ackWindow, len(plan.Threads))
+	loadN := uint64(plan.LoadN)
+	for t := range plan.Threads {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wdw := &windows[t]
+			for _, op := range plan.Threads[t] {
+				k := gen.Uint64(op.ID) | 1 // hash tables reserve key 0
+				var err error
+				switch op.Kind {
+				case ycsb.OpInsert:
+					err = asyncWrite(wdw, func() (*commit.Future, error) { return p.Insert(k, op.ID) }, true)
+				case ycsb.OpUpdate:
+					err = asyncWrite(wdw, func() (*commit.Future, error) { return p.Update(k, op.ID|UpdateBit) }, false)
+				case ycsb.OpRead:
+					if op.ID >= loadN && wdw.hasInserts {
+						err = wdw.drain()
+					}
+					if err == nil {
+						if v, ok := m.Lookup(k); !ok || ValueID(v) != op.ID {
+							err = fmt.Errorf("read id %d: got %d,%v", op.ID, v, ok)
+						}
+					}
+				case ycsb.OpRMW:
+					if op.ID >= loadN && wdw.hasInserts {
+						err = wdw.drain()
+					}
+					if err == nil {
+						v, ok := m.Lookup(k)
+						if !ok || ValueID(v) != op.ID {
+							err = fmt.Errorf("rmw read id %d: got %d,%v", op.ID, v, ok)
+						} else {
+							err = asyncWrite(wdw, func() (*commit.Future, error) { return p.Update(k, v|RMWBit) }, false)
+						}
+					}
+				}
+				if err != nil {
+					errs[t] = err
+					return
+				}
+			}
+			errs[t] = wdw.drain()
+		}()
+	}
+	wg.Wait()
+	ops, total := 0, time.Duration(0)
+	for i := range windows {
+		ops += windows[i].ops
+		total += windows[i].total
+	}
+	for _, err := range errs {
+		if err != nil {
+			return ops, total, err
+		}
+	}
+	return ops, total, nil
+}
+
+// asyncWrite enqueues one write through enq, recording its future in
+// the window — draining the window first when it is at capacity.
+func asyncWrite(w *ackWindow, enq func() (*commit.Future, error), insert bool) error {
+	if len(w.futs) >= asyncWindow {
+		if err := w.drain(); err != nil {
+			return err
+		}
+	}
+	at := time.Now()
+	f, err := enq()
+	if err != nil {
+		return err
+	}
+	w.add(f, at, insert)
+	return nil
+}
+
+// asyncKindByte infers the op kind the attribution observer charges
+// from the write's tag bits: an insert carries the bare identifier, an
+// RMW rewrite carries RMWBit, anything else updating is an update.
+func asyncKindByte(op group.ByteOp) ycsb.OpKind {
+	if !op.Update {
+		return ycsb.OpInsert
+	}
+	if op.Value&RMWBit != 0 {
+		return ycsb.OpRMW
+	}
+	return ycsb.OpUpdate
+}
+
+func asyncKindU64(op group.U64Op) ycsb.OpKind {
+	if !op.Update {
+		return ycsb.OpInsert
+	}
+	if op.Value&RMWBit != 0 {
+		return ycsb.OpRMW
+	}
+	return ycsb.OpUpdate
+}
+
+// AttributeOrderedAsync is AttributeOrderedBatched through the async
+// pipeline: a single-threaded driver enqueues the plan's writes into
+// an observed pipeline whose per-op hook — running on the shard
+// committers' goroutines — charges each counter delta to the kind
+// inferred from the op's value tags; the driver charges its direct
+// reads/scans under the same mutex. The telescoping snapshot chain
+// makes conservation bit-exact by construction (Attribution.Conserves)
+// even though committers of different shards may interleave, in which
+// case a charge can blur across kinds while the total stays exact.
+func AttributeOrderedAsync(m *shard.Ordered, gen *keys.Generator, w ycsb.Workload, loadN, opN int, opts commit.Options, seed int64) (Attribution, error) {
+	lp := commit.NewOrdered(m, opts)
+	_, _, err := execOrderedAsync(lp, m, gen, ycsb.GenerateLoad(loadN, 1))
+	if cerr := lp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return Attribution{}, fmt.Errorf("load phase: %w", err)
+	}
+
+	plan := ycsb.Generate(w, loadN, opN, 1, seed)
+	var a Attribution
+	var mu sync.Mutex
+	start := m.Stats()
+	before := start
+	charge := func(k ycsb.OpKind) { // callers hold mu
+		after := m.Stats()
+		a.Kinds[k].Stats = a.Kinds[k].Stats.Add(after.Sub(before))
+		before = after
+	}
+	p := commit.NewOrderedObserved(m, opts, func(op group.ByteOp) {
+		mu.Lock()
+		charge(asyncKindByte(op))
+		mu.Unlock()
+	})
+
+	var futs []*commit.Future
+	hasInserts := false
+	wait := func() error {
+		var first error
+		for _, f := range futs {
+			if err := f.Wait(); err != nil && first == nil {
+				first = err
+			}
+		}
+		futs = futs[:0]
+		hasInserts = false
+		return first
+	}
+	enqueue := func(enq func() (*commit.Future, error), insert bool) error {
+		if len(futs) >= asyncWindow {
+			if err := wait(); err != nil {
+				return err
+			}
+		}
+		f, err := enq()
+		if err != nil {
+			return err
+		}
+		futs = append(futs, f)
+		hasInserts = hasInserts || insert
+		return nil
+	}
+
+	fail := func(err error) (Attribution, error) {
+		p.Close()
+		return Attribution{}, fmt.Errorf("run phase: %w", err)
+	}
+	buf := make([]byte, 0, 32)
+	loadN64 := uint64(loadN)
+	for _, op := range plan.Threads[0] {
+		buf = gen.AppendKey(buf[:0], op.ID)
+		a.Kinds[op.Kind].Ops++
+		var err error
+		switch op.Kind {
+		case ycsb.OpInsert:
+			err = enqueue(func() (*commit.Future, error) { return p.Insert(buf, op.ID) }, true)
+		case ycsb.OpUpdate:
+			err = enqueue(func() (*commit.Future, error) { return p.Update(buf, op.ID|UpdateBit) }, false)
+		case ycsb.OpRead:
+			if op.ID >= loadN64 && hasInserts {
+				err = wait()
+			}
+			if err == nil {
+				if v, ok := m.Lookup(buf); !ok || ValueID(v) != op.ID {
+					err = fmt.Errorf("read id %d: got %d,%v", op.ID, v, ok)
+				}
+				mu.Lock()
+				charge(ycsb.OpRead)
+				mu.Unlock()
+			}
+		case ycsb.OpRMW:
+			if op.ID >= loadN64 && hasInserts {
+				err = wait()
+			}
+			if err == nil {
+				v, ok := m.Lookup(buf)
+				if !ok || ValueID(v) != op.ID {
+					err = fmt.Errorf("rmw read id %d: got %d,%v", op.ID, v, ok)
+				} else {
+					mu.Lock()
+					charge(ycsb.OpRMW) // the read half
+					mu.Unlock()
+					err = enqueue(func() (*commit.Future, error) { return p.Update(buf, v|RMWBit) }, false)
+				}
+			}
+		case ycsb.OpScan:
+			if hasInserts {
+				err = wait()
+			}
+			if err == nil {
+				m.Scan(buf, op.ScanLen, func([]byte, uint64) bool { return true })
+				mu.Lock()
+				charge(ycsb.OpScan)
+				mu.Unlock()
+			}
+		}
+		if err != nil {
+			return fail(err)
+		}
+	}
+	if err := wait(); err != nil {
+		return fail(err)
+	}
+	if err := p.Drain(); err != nil {
+		return fail(err)
+	}
+	if err := p.Close(); err != nil {
+		return Attribution{}, fmt.Errorf("pipeline close: %w", err)
+	}
+	mu.Lock()
+	a.Total = before.Sub(start)
+	mu.Unlock()
+	return a, nil
+}
+
+// AttributeHashAsync is AttributeOrderedAsync for the unordered
+// front-end.
+func AttributeHashAsync(m *shard.Hash, gen *keys.Generator, w ycsb.Workload, loadN, opN int, opts commit.Options, seed int64) (Attribution, error) {
+	if w.ScanPct > 0 {
+		return Attribution{}, fmt.Errorf("harness: workload %s has scans; unordered indexes do not support them", w.Name)
+	}
+	lp := commit.NewHash(m, opts)
+	_, _, err := execHashAsync(lp, m, gen, ycsb.GenerateLoad(loadN, 1))
+	if cerr := lp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return Attribution{}, fmt.Errorf("load phase: %w", err)
+	}
+
+	plan := ycsb.Generate(w, loadN, opN, 1, seed)
+	var a Attribution
+	var mu sync.Mutex
+	start := m.Stats()
+	before := start
+	charge := func(k ycsb.OpKind) { // callers hold mu
+		after := m.Stats()
+		a.Kinds[k].Stats = a.Kinds[k].Stats.Add(after.Sub(before))
+		before = after
+	}
+	p := commit.NewHashObserved(m, opts, func(op group.U64Op) {
+		mu.Lock()
+		charge(asyncKindU64(op))
+		mu.Unlock()
+	})
+
+	var futs []*commit.Future
+	hasInserts := false
+	wait := func() error {
+		var first error
+		for _, f := range futs {
+			if err := f.Wait(); err != nil && first == nil {
+				first = err
+			}
+		}
+		futs = futs[:0]
+		hasInserts = false
+		return first
+	}
+	enqueue := func(enq func() (*commit.Future, error), insert bool) error {
+		if len(futs) >= asyncWindow {
+			if err := wait(); err != nil {
+				return err
+			}
+		}
+		f, err := enq()
+		if err != nil {
+			return err
+		}
+		futs = append(futs, f)
+		hasInserts = hasInserts || insert
+		return nil
+	}
+
+	fail := func(err error) (Attribution, error) {
+		p.Close()
+		return Attribution{}, fmt.Errorf("run phase: %w", err)
+	}
+	loadN64 := uint64(loadN)
+	for _, op := range plan.Threads[0] {
+		k := gen.Uint64(op.ID) | 1
+		a.Kinds[op.Kind].Ops++
+		var err error
+		switch op.Kind {
+		case ycsb.OpInsert:
+			err = enqueue(func() (*commit.Future, error) { return p.Insert(k, op.ID) }, true)
+		case ycsb.OpUpdate:
+			err = enqueue(func() (*commit.Future, error) { return p.Update(k, op.ID|UpdateBit) }, false)
+		case ycsb.OpRead:
+			if op.ID >= loadN64 && hasInserts {
+				err = wait()
+			}
+			if err == nil {
+				if v, ok := m.Lookup(k); !ok || ValueID(v) != op.ID {
+					err = fmt.Errorf("read id %d: got %d,%v", op.ID, v, ok)
+				}
+				mu.Lock()
+				charge(ycsb.OpRead)
+				mu.Unlock()
+			}
+		case ycsb.OpRMW:
+			if op.ID >= loadN64 && hasInserts {
+				err = wait()
+			}
+			if err == nil {
+				v, ok := m.Lookup(k)
+				if !ok || ValueID(v) != op.ID {
+					err = fmt.Errorf("rmw read id %d: got %d,%v", op.ID, v, ok)
+				} else {
+					mu.Lock()
+					charge(ycsb.OpRMW)
+					mu.Unlock()
+					err = enqueue(func() (*commit.Future, error) { return p.Update(k, v|RMWBit) }, false)
+				}
+			}
+		}
+		if err != nil {
+			return fail(err)
+		}
+	}
+	if err := wait(); err != nil {
+		return fail(err)
+	}
+	if err := p.Drain(); err != nil {
+		return fail(err)
+	}
+	if err := p.Close(); err != nil {
+		return Attribution{}, fmt.Errorf("pipeline close: %w", err)
+	}
+	mu.Lock()
+	a.Total = before.Sub(start)
+	mu.Unlock()
+	return a, nil
+}

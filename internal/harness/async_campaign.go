@@ -1,0 +1,409 @@
+// Async crash campaigns: the per-site durability and lossy
+// power-failure sweeps driven through the async commit pipeline
+// (internal/commit), so every site inside a committer's drain loop —
+// the two commit.* sites bracketing it, the group.* boundary sites,
+// and every index-internal site reached while a fence group is open —
+// is crashed and verified.
+//
+// The acked-durability contract under async commit is per future: an
+// operation whose future resolved nil had its covering fence retire
+// strictly before the ack, so it must survive the power loss exactly;
+// an operation whose future resolved with an error (or that the
+// committer's death failed) was never acknowledged, so it may survive
+// whole or vanish whole — each op's commit store is individually
+// atomic — but never with a wrong value. A nil-resolved write missing
+// is LOST-ACK; an error-resolved write missing is PARTIAL; a wrong
+// value anywhere is CORRUPT. A future still pending after Close is a
+// graceful-drain contract violation and reported CORRUPT.
+//
+// Each trial runs one standalone committer over the trial heap with
+// MaxBatch = Queue = batch and a long flush interval: the single
+// enqueuer keeps the queue fed, so mid-stream batches are exactly
+// `batch` consecutive identifiers and the tail flushes on Close —
+// batch composition, and therefore the site-visit sequence on the
+// committer goroutine, is deterministic for any worker count.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/commit"
+	"repro/internal/core"
+	"repro/internal/crash"
+	"repro/internal/group"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+)
+
+// asyncRun is one committer generation over a trial's heap and index:
+// enqueue identifiers, then close — which resolves every accepted
+// future — and inspect the futures.
+type asyncRun struct {
+	enqueue func(id uint64) (*commit.Future, error)
+	close   func() error
+}
+
+// asyncTrial binds one index instance on one heap behind a committer
+// factory: start spawns a fresh committer generation (the load's, and
+// a new one for post-crash traffic — a dead committer stays dead).
+type asyncTrial struct {
+	start     func() asyncRun
+	lookup    func(id uint64) (uint64, bool)
+	recoverFn func() error
+}
+
+// orderedAsyncTrial adapts an ordered index to the async trial shape.
+func orderedAsyncTrial(factory func(*pmem.Heap) core.OrderedIndex, kind keys.Kind, batch int) func(*pmem.Heap) asyncTrial {
+	return func(heap *pmem.Heap) asyncTrial {
+		idx := factory(heap)
+		gen := keys.NewGenerator(kind)
+		opts := campaignOptions(heap, batch)
+		return asyncTrial{
+			start: func() asyncRun {
+				c := commit.NewCommitter(func(ops []group.ByteOp, obs group.Observer) error {
+					return group.ApplyOrdered(heap, idx, ops, obs)
+				}, nil, opts)
+				return asyncRun{
+					enqueue: func(id uint64) (*commit.Future, error) {
+						return c.Enqueue(group.ByteOp{Key: gen.Key(id), Value: id})
+					},
+					close: c.Close,
+				}
+			},
+			lookup:    func(id uint64) (uint64, bool) { return idx.Lookup(gen.Key(id)) },
+			recoverFn: idx.Recover,
+		}
+	}
+}
+
+// hashAsyncTrial adapts an unordered index to the async trial shape.
+func hashAsyncTrial(factory func(*pmem.Heap) core.HashIndex, batch int) func(*pmem.Heap) asyncTrial {
+	return func(heap *pmem.Heap) asyncTrial {
+		idx := factory(heap)
+		gen := keys.NewGenerator(keys.RandInt)
+		opts := campaignOptions(heap, batch)
+		return asyncTrial{
+			start: func() asyncRun {
+				c := commit.NewCommitter(func(ops []group.U64Op, obs group.Observer) error {
+					return group.ApplyHash(heap, idx, ops, obs)
+				}, nil, opts)
+				return asyncRun{
+					enqueue: func(id uint64) (*commit.Future, error) {
+						return c.Enqueue(group.U64Op{Key: gen.Uint64(id) | 1, Value: id})
+					},
+					close: c.Close,
+				}
+			},
+			lookup:    func(id uint64) (uint64, bool) { return idx.Lookup(gen.Uint64(id) | 1) },
+			recoverFn: idx.Recover,
+		}
+	}
+}
+
+// campaignOptions pins the committer configuration that makes a trial
+// deterministic: batches fill to exactly MaxBatch (the long flush
+// interval never expires mid-load; the tail flushes on Close), and the
+// trial heap carries the commit.* crash sites.
+func campaignOptions(heap *pmem.Heap, batch int) commit.Options {
+	return commit.Options{
+		Queue:         batch,
+		MaxBatch:      batch,
+		FlushInterval: time.Hour,
+		Heap:          heap,
+	}
+}
+
+// asyncLoad enqueues identifiers [0, loadN) through one committer
+// generation, closes it, and splits the ids by their future's outcome:
+// acked (resolved nil — covering fence retired, must survive) and
+// unacked (resolved with an error — never acknowledged). pending is
+// non-nil if any future violated the Close contract and stayed
+// unresolved.
+func asyncLoad(trial asyncTrial, loadN int) (acked, unacked []uint64, pending error) {
+	run := trial.start()
+	futs := make([]*commit.Future, 0, loadN)
+	ids := make([]uint64, 0, loadN)
+	for i := 0; i < loadN; i++ {
+		f, err := run.enqueue(uint64(i))
+		if err != nil {
+			// Enqueue rejections (cannot happen with the Block policy, but
+			// stay safe) leave the op out of both sets: never accepted,
+			// never owed an ack.
+			continue
+		}
+		futs = append(futs, f)
+		ids = append(ids, uint64(i))
+	}
+	_ = run.close()
+	for i, f := range futs {
+		switch err := f.Err(); {
+		case err == nil:
+			acked = append(acked, ids[i])
+		case errors.Is(err, commit.ErrPending):
+			pending = fmt.Errorf("future for id %d unresolved after Close", ids[i])
+		default:
+			unacked = append(unacked, ids[i])
+		}
+	}
+	return acked, unacked, pending
+}
+
+// discoverAsyncSites runs one untracked async load with a never-firing
+// injector and returns every crash site it passed through — the
+// index's own sites, the group.* boundary sites, and the commit.*
+// drain-loop sites.
+func discoverAsyncSites(loadN int, build func(*pmem.Heap) asyncTrial) []string {
+	inj := crash.NewProbabilistic(0, 1)
+	heap := pmem.New(pmem.Options{Injector: inj})
+	trial := build(heap)
+	_, _, _ = asyncLoad(trial, loadN)
+	m := inj.Sites()
+	sites := make([]string, 0, len(m))
+	for s := range m {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	heap.Release()
+	return sites
+}
+
+// LossyCampaignOrderedAsync runs the lossy power-failure campaign
+// through the async commit pipeline for an ordered index: discover
+// every crash site an async loadN-insert load passes through
+// (including the committer drain-loop sites), then crash at each,
+// power-cycle under the policy, recover, and verify every nil-resolved
+// future's write in full, exact-or-absent survival of every
+// error-resolved write, and postN post-cycle inserts through a fresh
+// committer.
+func LossyCampaignOrderedAsync(name string, factory func(*pmem.Heap) core.OrderedIndex, kind keys.Kind, policy pmem.Policy, seed int64, loadN, postN, batch, workers int) LossyCampaignReport {
+	return lossyCampaignAsync(name, policy, seed, loadN, postN, workers, orderedAsyncTrial(factory, kind, batch))
+}
+
+// LossyCampaignHashAsync is LossyCampaignOrderedAsync for unordered
+// indexes.
+func LossyCampaignHashAsync(name string, factory func(*pmem.Heap) core.HashIndex, policy pmem.Policy, seed int64, loadN, postN, batch, workers int) LossyCampaignReport {
+	return lossyCampaignAsync(name, policy, seed, loadN, postN, workers, hashAsyncTrial(factory, batch))
+}
+
+func lossyCampaignAsync(name string, policy pmem.Policy, seed int64, loadN, postN, workers int, build func(*pmem.Heap) asyncTrial) LossyCampaignReport {
+	sites := discoverAsyncSites(loadN, build)
+	rep := LossyCampaignReport{
+		Index: name, Policy: policy, Seed: seed,
+		PostOps: postN, Sites: make([]LossySiteReport, len(sites)),
+	}
+	forEachSite(len(sites), workers, func(i int) {
+		rep.Sites[i] = lossyAsyncAtSite(sites[i], policy, siteSeed(seed, sites[i]), loadN, postN, build)
+	})
+	return rep
+}
+
+// lossyAsyncAtSite is one trial: async load with a crash armed at the
+// site's first visit on a Shadow-mode heap, power-cycle, recover, and
+// verify acked futures fully and unacked ones exact-or-absent.
+func lossyAsyncAtSite(site string, policy pmem.Policy, seed int64, loadN, postN int, build func(*pmem.Heap) asyncTrial) LossySiteReport {
+	r := LossySiteReport{Site: site}
+	heap := pmem.New(pmem.Options{Shadow: true})
+	defer heap.Release()
+	trial := build(heap)
+	heap.SetInjector(crash.NewAtSite(site, 1))
+
+	acked, unacked, pending := asyncLoad(trial, loadN)
+	r.Fired = heap.Injector().Fired()
+	heap.SetInjector(nil)
+	if !r.Fired {
+		return r
+	}
+
+	fail := func(o LossyOutcome, detail string) {
+		if o > r.Outcome {
+			r.Outcome = o
+			r.Detail = detail
+		}
+	}
+	if pending != nil {
+		// Close returned with an unresolved future: the graceful-drain
+		// contract itself broke — as severe as a corrupt image.
+		fail(OutcomeCorrupt, pending.Error())
+		return r
+	}
+
+	r.Cycle = heap.PowerCycle(policy, seed)
+	if err := guard(trial.recoverFn); err != nil {
+		r.Outcome, r.Detail = OutcomeCorrupt, fmt.Sprintf("recovery failed: %v", err)
+		return r
+	}
+
+	// Acked futures: the covering fence retired strictly before the nil
+	// resolution, so the power loss may not touch these writes.
+	verify := func(phase string) error {
+		return guard(func() error {
+			for _, id := range acked {
+				v, ok := trial.lookup(id)
+				switch {
+				case !ok:
+					r.LostAcks++
+					fail(OutcomeLostAck, fmt.Sprintf("%s: acknowledged id %d missing", phase, id))
+				case v != id:
+					r.LostAcks++
+					fail(OutcomeCorrupt, fmt.Sprintf("%s: id %d read back %d", phase, id, v))
+				}
+			}
+			return nil
+		})
+	}
+	if err := verify("readback"); err != nil {
+		fail(OutcomeCorrupt, fmt.Sprintf("readback %v", err))
+		return r
+	}
+
+	// Unacked futures were never acknowledged: each op either survived
+	// whole or vanished whole — a wrong value is corruption. (A crash at
+	// commit.ack.fenced lands a durable batch here: present with exact
+	// values is the expected shape.)
+	err := guard(func() error {
+		for _, id := range unacked {
+			if v, ok := trial.lookup(id); ok {
+				if v != id {
+					fail(OutcomeCorrupt, fmt.Sprintf("unacked id %d read back %d", id, v))
+				}
+			} else {
+				fail(OutcomePartial, "")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fail(OutcomeCorrupt, fmt.Sprintf("unacked lookup %v", err))
+		return r
+	}
+
+	// The recovered index must accept and retain new async writes
+	// through a fresh committer (the load's died with the crash).
+	const postBase = 1_000_000
+	if err := guard(func() error {
+		run := trial.start()
+		futs := make([]*commit.Future, 0, postN)
+		for i := 0; i < postN; i++ {
+			f, err := run.enqueue(postBase + uint64(i))
+			if err != nil {
+				return fmt.Errorf("post-cycle enqueue %d: %w", postBase+i, err)
+			}
+			futs = append(futs, f)
+		}
+		if err := run.close(); err != nil {
+			return fmt.Errorf("post-cycle committer: %w", err)
+		}
+		for i, f := range futs {
+			if err := f.Err(); err != nil {
+				return fmt.Errorf("post-cycle id %d: %w", postBase+i, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		fail(OutcomeCorrupt, fmt.Sprintf("post-cycle: %v", err))
+		return r
+	}
+	if err := guard(func() error {
+		for i := 0; i < postN; i++ {
+			id := uint64(postBase + i)
+			if v, ok := trial.lookup(id); !ok || v != id {
+				fail(OutcomeCorrupt, fmt.Sprintf("post-cycle id %d: ok=%v v=%d", id, ok, v))
+			}
+		}
+		return nil
+	}); err != nil {
+		fail(OutcomeCorrupt, fmt.Sprintf("post-cycle readback %v", err))
+		return r
+	}
+	// Re-verify the original dataset after the repair traffic.
+	if err := verify("post-ops readback"); err != nil {
+		fail(OutcomeCorrupt, fmt.Sprintf("post-ops readback %v", err))
+	}
+	return r
+}
+
+// DurabilitySitesOrderedAsync runs the per-site durability campaign
+// through the async commit pipeline for an ordered index: after a
+// crash at any discovered site (commit.* drain-loop sites included),
+// recovery and postN post-crash async inserts must leave every dirtied
+// line flushed and fenced at each quiesced committer boundary.
+func DurabilitySitesOrderedAsync(name string, factory func(*pmem.Heap) core.OrderedIndex, kind keys.Kind, loadN, postN, batch, workers int) SiteCampaignReport {
+	return durabilitySitesAsync(name, loadN, postN, batch, workers, orderedAsyncTrial(factory, kind, batch))
+}
+
+// DurabilitySitesHashAsync is DurabilitySitesOrderedAsync for
+// unordered indexes.
+func DurabilitySitesHashAsync(name string, factory func(*pmem.Heap) core.HashIndex, loadN, postN, batch, workers int) SiteCampaignReport {
+	return durabilitySitesAsync(name, loadN, postN, batch, workers, hashAsyncTrial(factory, batch))
+}
+
+func durabilitySitesAsync(name string, loadN, postN, batch, workers int, build func(*pmem.Heap) asyncTrial) SiteCampaignReport {
+	sites := discoverAsyncSites(loadN, build)
+	rep := SiteCampaignReport{Index: name, PostOps: postN, Sites: make([]SiteReport, len(sites))}
+	forEachSite(len(sites), workers, func(i int) {
+		rep.Sites[i] = durabilityAsyncAtSite(sites[i], loadN, postN, batch, build)
+	})
+	return rep
+}
+
+// durabilityAsyncAtSite is one trial: async load with a crash armed at
+// the site's first visit on a Track-mode heap, then recovery and postN
+// further async inserts — one committer generation per post batch, so
+// every Tracker check runs at a quiesced acknowledged boundary.
+func durabilityAsyncAtSite(site string, loadN, postN, batch int, build func(*pmem.Heap) asyncTrial) SiteReport {
+	r := SiteReport{Site: site}
+	heap := pmem.New(pmem.Options{Track: true})
+	defer heap.Release()
+	trial := build(heap)
+	heap.SetInjector(crash.NewAtSite(site, 1))
+	_, _, _ = asyncLoad(trial, loadN)
+	r.Fired = heap.Injector().Fired()
+	heap.SetInjector(nil)
+	if !r.Fired {
+		return r
+	}
+	// Power-cycle: unflushed state is gone; every boundary from here on
+	// must be durable again.
+	heap.Tracker().Reset()
+	if err := trial.recoverFn(); err != nil {
+		r.RecoveryFailed = true
+		return r
+	}
+	if v := heap.Tracker().Check(); len(v) != 0 {
+		r.RecoveryViolations = len(v)
+		heap.Tracker().Reset()
+	}
+	const postBase = 1_000_000
+	_ = batches(postN, batch, func(lo uint64, n int) error {
+		run := trial.start()
+		futs := make([]*commit.Future, 0, n)
+		for i := 0; i < n; i++ {
+			f, err := run.enqueue(postBase + lo + uint64(i))
+			if err != nil {
+				r.OpViolations++
+				continue
+			}
+			futs = append(futs, f)
+		}
+		cerr := run.close()
+		bad := cerr != nil
+		for _, f := range futs {
+			if f.Err() != nil {
+				bad = true
+			}
+		}
+		if bad {
+			r.OpViolations++
+			return nil // keep driving the remaining batches
+		}
+		if v := heap.Tracker().Check(); len(v) != 0 {
+			r.OpViolations += len(v)
+			heap.Tracker().Reset()
+		}
+		return nil
+	})
+	return r
+}

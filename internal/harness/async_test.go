@@ -1,0 +1,246 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/commit"
+	"repro/internal/core"
+	"repro/internal/group"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+	"repro/internal/ycsb"
+	"repro/shard"
+)
+
+// TestAsyncRunOrdered: the async run loop executes write-heavy A
+// clean, covers the full plan, and samples enqueue-to-ack latency.
+func TestAsyncRunOrdered(t *testing.T) {
+	const loadN, opN, threads, seed = 512, 1024, 2, 42
+	gen := keys.NewGenerator(keys.RandInt)
+	m := shardedOrdered(t, "P-ART", 2)
+	defer m.Release()
+	opts := commit.Options{Queue: 64, MaxBatch: 8}
+	res, err := RunOrderedAsync("P-ART", m, gen, ycsb.A, loadN, opN, threads, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := ycsb.Generate(ycsb.A, loadN, opN, threads, seed)
+	if res.Ops != plan.TotalOps() || res.Counts != plan.Counts {
+		t.Fatalf("async plan diverged: ops %d vs %d, counts %v vs %v",
+			res.Ops, plan.TotalOps(), res.Counts, plan.Counts)
+	}
+	if res.AckOps == 0 || res.AckTotal <= 0 {
+		t.Fatalf("no ack-latency sample: ops=%d total=%v", res.AckOps, res.AckTotal)
+	}
+	if res.MeanAckLatency() <= 0 {
+		t.Fatalf("mean ack latency = %v", res.MeanAckLatency())
+	}
+}
+
+// TestAsyncRunHash is TestAsyncRunOrdered for the unordered pipeline,
+// including the scan rejection.
+func TestAsyncRunHash(t *testing.T) {
+	const loadN, opN, threads, seed = 512, 1024, 2, 42
+	gen := keys.NewGenerator(keys.RandInt)
+	m, err := shard.NewHash("P-CLHT", shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	opts := commit.Options{Queue: 64, MaxBatch: 8}
+	res, err := RunHashAsync("P-CLHT", m, gen, ycsb.F, loadN, opN, threads, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AckOps == 0 {
+		t.Fatal("no ack-latency sample")
+	}
+	if _, err := RunHashAsync("P-CLHT", m, gen, ycsb.E, loadN, opN, threads, opts, seed); err == nil {
+		t.Fatal("scan workload accepted by unordered async runner")
+	}
+}
+
+// TestAsyncSyncParityD: workload D's final dataset is identical (exact
+// values — D carries no in-place writes) between the async and
+// synchronous run loops at the same seed.
+func TestAsyncSyncParityD(t *testing.T) {
+	const loadN, opN, seed = 400, 800, 7
+	gen := keys.NewGenerator(keys.RandInt)
+
+	plain := shardedOrdered(t, "P-ART", 2)
+	defer plain.Release()
+	if _, err := RunOrdered("P-ART", plain, gen, plain, ycsb.D, loadN, opN, 1, seed); err != nil {
+		t.Fatal(err)
+	}
+	async := shardedOrdered(t, "P-ART", 2)
+	defer async.Release()
+	if _, err := RunOrderedAsync("P-ART", async, gen, ycsb.D, loadN, opN, 1, commit.Options{Queue: 32, MaxBatch: 8}, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Len() != async.Len() {
+		t.Fatalf("Len: sync %d, async %d", plain.Len(), async.Len())
+	}
+	plan := ycsb.Generate(ycsb.D, loadN, opN, 1, seed)
+	maxID := uint64(loadN + plan.Inserts)
+	for id := uint64(0); id < maxID; id++ {
+		key := gen.Key(id)
+		va, oka := plain.Lookup(key)
+		vb, okb := async.Lookup(key)
+		if oka != okb || va != vb {
+			t.Fatalf("id %d: sync (%d,%v) != async (%d,%v)", id, va, oka, vb, okb)
+		}
+	}
+}
+
+// TestAsyncAttributionConserves: the async per-op-kind attribution
+// sums bit-exactly to the aggregate delta on the update-bearing D and
+// F workloads plus A, across batch sizes, with the full plan counted.
+func TestAsyncAttributionConserves(t *testing.T) {
+	const loadN, opN, seed = 400, 800, 42
+	for _, w := range []ycsb.Workload{ycsb.D, ycsb.F, ycsb.A} {
+		for _, batch := range []int{1, 8, 64} {
+			m := shardedOrdered(t, "P-ART", 2)
+			gen := keys.NewGenerator(keys.RandInt)
+			opts := commit.Options{Queue: 2 * batch, MaxBatch: batch}
+			a, err := AttributeOrderedAsync(m, gen, w, loadN, opN, opts, seed)
+			if err != nil {
+				m.Release()
+				t.Fatalf("%s batch=%d: %v", w.Name, batch, err)
+			}
+			if !a.Conserves() {
+				t.Errorf("%s batch=%d: per-kind deltas do not conserve against total %+v", w.Name, batch, a.Total)
+			}
+			ops := 0
+			for _, k := range a.Kinds {
+				ops += k.Ops
+			}
+			if ops != opN {
+				t.Errorf("%s batch=%d: attributed ops = %d, want %d", w.Name, batch, ops, opN)
+			}
+			m.Release()
+		}
+	}
+}
+
+// TestAsyncAttributionHashConserves is the unordered-front-end
+// conservation check.
+func TestAsyncAttributionHashConserves(t *testing.T) {
+	m, err := shard.NewHash("P-CLHT", shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	gen := keys.NewGenerator(keys.RandInt)
+	a, err := AttributeHashAsync(m, gen, ycsb.F, 400, 800, commit.Options{Queue: 16, MaxBatch: 8}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Conserves() {
+		t.Errorf("hash async attribution does not conserve: total %+v", a.Total)
+	}
+}
+
+// TestAsyncLossyMatrix drives all 9 indexes through the async lossy
+// power-failure campaign under all three policies: crash at every site
+// the committer drain loop passes through — the commit.* sites
+// bracketing it included — and every nil-resolved future survives
+// while error-resolved ops are at worst atomically PARTIAL; never
+// LOST-ACK, never CORRUPT.
+func TestAsyncLossyMatrix(t *testing.T) {
+	const loadN, postN, batch, seed = 60, 6, 8, 42
+	for _, name := range lossyOrderedNames {
+		for _, policy := range pmem.Policies {
+			rep := LossyCampaignOrderedAsync(name, orderedFactory(t, name), keys.RandInt, policy, seed, loadN, postN, batch, 0)
+			checkLossy(t, rep)
+			checkCommitSites(t, rep)
+		}
+	}
+	for _, name := range core.HashNames {
+		for _, policy := range pmem.Policies {
+			rep := LossyCampaignHashAsync(name, hashFactory(t, name), policy, seed, loadN, postN, batch, 0)
+			checkLossy(t, rep)
+			checkCommitSites(t, rep)
+		}
+	}
+}
+
+// checkCommitSites asserts the async campaign swept both committer
+// drain-loop sites and the group boundary sites beneath them.
+func checkCommitSites(t *testing.T, rep LossyCampaignReport) {
+	t.Helper()
+	found := map[string]bool{}
+	for _, s := range rep.Sites {
+		found[s.Site] = s.Fired
+	}
+	for _, site := range []string{commit.SiteDrainApplied, commit.SiteAckFenced, group.SiteOpApplied, group.SiteCommitFenced} {
+		fired, ok := found[site]
+		if !ok {
+			t.Errorf("%s/%v: async campaign did not discover %s", rep.Index, rep.Policy, site)
+		} else if !fired {
+			t.Errorf("%s/%v: site %s discovered but never fired", rep.Index, rep.Policy, site)
+		}
+	}
+}
+
+// TestAsyncLossyDeterministic: the same seed yields the identical
+// report regardless of the campaign worker count — trial batch
+// composition is pinned by the committer configuration.
+func TestAsyncLossyDeterministic(t *testing.T) {
+	const loadN, postN, batch, seed = 48, 4, 8, 7
+	a := LossyCampaignOrderedAsync("P-ART", orderedFactory(t, "P-ART"), keys.RandInt, pmem.PolicyTorn, seed, loadN, postN, batch, 1)
+	b := LossyCampaignOrderedAsync("P-ART", orderedFactory(t, "P-ART"), keys.RandInt, pmem.PolicyTorn, seed, loadN, postN, batch, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("async torn campaign not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestAsyncDurabilitySites: the per-site durability campaign through
+// the async write path — flush coverage holds at every quiesced
+// committer boundary after a crash at any site, the commit.* sites
+// included.
+func TestAsyncDurabilitySites(t *testing.T) {
+	rep := DurabilitySitesOrderedAsync("P-ART", func(h *pmem.Heap) core.OrderedIndex {
+		idx, err := core.NewOrdered("P-ART", h, keys.RandInt)
+		if err != nil {
+			panic(err) // runs on a worker goroutine; t.Fatal is not allowed here
+		}
+		return idx
+	}, keys.RandInt, 600, 60, 8, 4)
+	if len(rep.Sites) == 0 {
+		t.Fatal("no crash sites discovered")
+	}
+	if rep.Fired() != len(rep.Sites) {
+		t.Fatalf("fired at %d of %d sites", rep.Fired(), len(rep.Sites))
+	}
+	if !rep.Pass() {
+		t.Fatalf("campaign failed: %s", rep.String())
+	}
+	hasCommit := false
+	for _, s := range rep.Sites {
+		if s.Site == commit.SiteDrainApplied || s.Site == commit.SiteAckFenced {
+			hasCommit = true
+		}
+	}
+	if !hasCommit {
+		t.Fatal("async durability campaign never crashed a committer drain-loop site")
+	}
+}
+
+// TestAsyncDurabilitySitesHash is the unordered variant.
+func TestAsyncDurabilitySitesHash(t *testing.T) {
+	rep := DurabilitySitesHashAsync("P-CLHT", func(h *pmem.Heap) core.HashIndex {
+		idx, err := core.NewHash("P-CLHT", h)
+		if err != nil {
+			panic(err) // runs on a worker goroutine; t.Fatal is not allowed here
+		}
+		return idx
+	}, 600, 60, 8, 4)
+	if len(rep.Sites) == 0 {
+		t.Fatal("no crash sites discovered")
+	}
+	if !rep.Pass() {
+		t.Fatalf("campaign failed: %s", rep.String())
+	}
+}

@@ -59,6 +59,21 @@ type Result struct {
 	// RMWs + inserts + scans == Ops — and TestRunConservationDF
 	// re-checks it against the plan under -race.
 	Counts [ycsb.NumOpKinds]int
+	// AckOps and AckTotal sample enqueue-to-ack latency on the async
+	// write path (RunOrderedAsync/RunHashAsync): AckOps write futures
+	// were waited during the measured phase, their enqueue-to-resolve
+	// times summing to AckTotal. Both are zero for sync runs.
+	AckOps   int
+	AckTotal time.Duration
+}
+
+// MeanAckLatency returns the average enqueue-to-ack latency of the
+// sampled async writes (zero when the run path was synchronous).
+func (r Result) MeanAckLatency() time.Duration {
+	if r.AckOps == 0 {
+		return 0
+	}
+	return r.AckTotal / time.Duration(r.AckOps)
 }
 
 // MopsPerSec returns throughput in million operations per second.

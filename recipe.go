@@ -33,6 +33,7 @@ package recipe
 
 import (
 	"repro/internal/cachesim"
+	"repro/internal/commit"
 	"repro/internal/core"
 	"repro/internal/crash"
 	"repro/internal/group"
@@ -495,6 +496,142 @@ func DurabilitySitesOrderedBatched(name string, factory func(*Heap) OrderedIndex
 // unordered indexes.
 func DurabilitySitesHashBatched(name string, factory func(*Heap) HashIndex, loadN, postN, batch, workers int) SiteCampaignReport {
 	return harness.DurabilitySitesHashBatched(name, factory, loadN, postN, batch, workers)
+}
+
+// CommitFuture is the completion handle an async enqueue returns: it
+// resolves exactly once — with nil only after the covering fence of
+// the group commit carrying the op retired (the op is durable), or
+// with an error if the op did not commit.
+type CommitFuture = commit.Future
+
+// CommitOptions configures the per-shard committers of an async
+// pipeline: queue capacity, max batch, backpressure policy, enqueue
+// timeout, and the flush interval bounding staleness.
+type CommitOptions = commit.Options
+
+// CommitPolicy selects the backpressure behaviour of async enqueues
+// against a full shard queue.
+type CommitPolicy = commit.Policy
+
+// The backpressure policies: block for space (default), reject
+// immediately with ErrCommitQueueFull, or wait up to
+// CommitOptions.EnqueueTimeout.
+const (
+	CommitBlock    = commit.Block
+	CommitReject   = commit.Reject
+	CommitDeadline = commit.Deadline
+)
+
+// Commit queue/batch defaults (see CommitOptions).
+const (
+	DefaultCommitQueue    = commit.DefaultQueue
+	DefaultCommitMaxBatch = commit.DefaultMaxBatch
+)
+
+// Typed failures of the async pipeline surface, matched by errors.Is.
+var (
+	// ErrCommitQueueFull reports an enqueue rejected by backpressure.
+	ErrCommitQueueFull = commit.ErrQueueFull
+	// ErrCommitClosed reports an enqueue after the pipeline closed.
+	ErrCommitClosed = commit.ErrClosed
+	// ErrCommitPending is CommitFuture.Err's answer while unresolved.
+	ErrCommitPending = commit.ErrPending
+	// ErrCommitterFailed marks futures failed by a committer that died
+	// (panic or injected crash); the shard is quarantined.
+	ErrCommitterFailed = commit.ErrCommitterFailed
+)
+
+// CommitterError carries a dead committer's shard number and cause.
+type CommitterError = commit.CommitterError
+
+// The crash sites bracketing a committer's drain loop, swept by the
+// async campaigns: after each op is applied inside the fence group,
+// and after the covering fence retires but before any future resolves.
+const (
+	SiteCommitDrainApplied = commit.SiteDrainApplied
+	SiteCommitAckFenced    = commit.SiteAckFenced
+)
+
+// AsyncOrdered is the async commit pipeline over a sharded ordered
+// front-end: one committer goroutine per shard drains a bounded queue
+// into group commits and resolves each write's CommitFuture only after
+// its covering fence retired. Reads go to the front-end directly and
+// may trail enqueued writes by at most CommitOptions.FlushInterval
+// plus one batch commit; Drain (or waiting your own futures) closes
+// the window. Close resolves every accepted future and stops the
+// committers.
+type AsyncOrdered = commit.Ordered
+
+// AsyncHash is AsyncOrdered for unordered indexes.
+type AsyncHash = commit.Hash
+
+// NewAsyncOrdered starts one committer per shard of m; see AsyncOrdered.
+func NewAsyncOrdered(m *ShardedOrdered, opts CommitOptions) *AsyncOrdered {
+	return commit.NewOrdered(m, opts)
+}
+
+// NewAsyncHash is NewAsyncOrdered for unordered indexes.
+func NewAsyncHash(m *ShardedHash, opts CommitOptions) *AsyncHash {
+	return commit.NewHash(m, opts)
+}
+
+// RunOrderedWorkloadAsync is RunOrderedWorkload with writes enqueued
+// through an async commit pipeline built over m with opts: workers
+// receive futures, wait them only when a read could observe their own
+// pending inserts, and the measured phase ends at a full pipeline
+// drain. Result.AckOps/AckTotal carry the enqueue-to-ack latency
+// sample.
+func RunOrderedWorkloadAsync(name string, m *ShardedOrdered, gen *KeyGenerator, w Workload, loadN, opN, threads int, opts CommitOptions, seed int64) (Result, error) {
+	return harness.RunOrderedAsync(name, m, gen, w, loadN, opN, threads, opts, seed)
+}
+
+// RunHashWorkloadAsync is RunOrderedWorkloadAsync for unordered
+// indexes (scan workloads are rejected).
+func RunHashWorkloadAsync(name string, m *ShardedHash, gen *KeyGenerator, w Workload, loadN, opN, threads int, opts CommitOptions, seed int64) (Result, error) {
+	return harness.RunHashAsync(name, m, gen, w, loadN, opN, threads, opts, seed)
+}
+
+// AttributeOrderedWorkloadAsync is AttributeOrderedWorkload through
+// the async pipeline: the committers' observer hook charges every
+// write's counter delta to the kind inferred from its value tags, and
+// the result conserves bit-exactly against the aggregate delta.
+func AttributeOrderedWorkloadAsync(m *ShardedOrdered, gen *KeyGenerator, w Workload, loadN, opN int, opts CommitOptions, seed int64) (Attribution, error) {
+	return harness.AttributeOrderedAsync(m, gen, w, loadN, opN, opts, seed)
+}
+
+// AttributeHashWorkloadAsync is AttributeOrderedWorkloadAsync for
+// unordered indexes.
+func AttributeHashWorkloadAsync(m *ShardedHash, gen *KeyGenerator, w Workload, loadN, opN int, opts CommitOptions, seed int64) (Attribution, error) {
+	return harness.AttributeHashAsync(m, gen, w, loadN, opN, opts, seed)
+}
+
+// LossyCampaignOrderedAsync is LossyCampaignOrdered with the load and
+// post-cycle writes enqueued through a standalone async committer: the
+// sweep also crashes at the committer drain-loop sites
+// (SiteCommitDrainApplied, SiteCommitAckFenced), acknowledgement is
+// per future, and only nil-resolved futures join the must-survive
+// model — error-resolved writes may survive whole or vanish whole.
+func LossyCampaignOrderedAsync(name string, factory func(*Heap) OrderedIndex, kind KeyKind, policy CyclePolicy, seed int64, loadN, postN, batch, workers int) LossyCampaignReport {
+	return harness.LossyCampaignOrderedAsync(name, factory, kind, policy, seed, loadN, postN, batch, workers)
+}
+
+// LossyCampaignHashAsync is LossyCampaignOrderedAsync for unordered
+// indexes.
+func LossyCampaignHashAsync(name string, factory func(*Heap) HashIndex, policy CyclePolicy, seed int64, loadN, postN, batch, workers int) LossyCampaignReport {
+	return harness.LossyCampaignHashAsync(name, factory, policy, seed, loadN, postN, batch, workers)
+}
+
+// DurabilitySitesOrderedAsync is DurabilitySitesOrdered through the
+// async write path: flush coverage is checked at quiesced committer
+// boundaries after a crash at any site, the drain-loop sites included.
+func DurabilitySitesOrderedAsync(name string, factory func(*Heap) OrderedIndex, kind KeyKind, loadN, postN, batch, workers int) SiteCampaignReport {
+	return harness.DurabilitySitesOrderedAsync(name, factory, kind, loadN, postN, batch, workers)
+}
+
+// DurabilitySitesHashAsync is DurabilitySitesOrderedAsync for
+// unordered indexes.
+func DurabilitySitesHashAsync(name string, factory func(*Heap) HashIndex, loadN, postN, batch, workers int) SiteCampaignReport {
+	return harness.DurabilitySitesHashAsync(name, factory, loadN, postN, batch, workers)
 }
 
 // ErrShardUnavailable is the sentinel matched by errors.Is for

@@ -1,0 +1,46 @@
+// Single-shard group-commit entry points for external committers: the
+// async pipeline (internal/commit) routes each op itself and drains
+// per-shard queues, so it needs to commit a pre-routed batch on one
+// shard without re-partitioning, plus the routing function to do the
+// pre-routing. The quarantine and single-writer rules are the same as
+// the batch API's: a quarantined shard rejects the whole sub-batch
+// with *ShardUnavailableError, and the shard's batch mutex serialises
+// group commits on its heap.
+package shard
+
+import "repro/internal/group"
+
+// Route returns the shard owning key — the partitioner decision point
+// operations route through. Callers that pre-partition work (the async
+// commit pipeline) use it to pick the per-shard queue.
+func (m *Ordered) Route(key []byte) int { return m.route(key) }
+
+// Route returns the shard owning key; see Ordered.Route.
+func (m *Hash) Route(key uint64) int { return m.route(key) }
+
+// ApplyShard applies ops — all of which must be owned by shard s (see
+// Route) — as one group commit on that shard's heap. A quarantined
+// shard returns *ShardUnavailableError without touching the index;
+// otherwise the error is the group layer's (*group.Error on partial
+// application). A nil return means every op is durable.
+func (m *Ordered) ApplyShard(s int, ops []group.ByteOp, obs group.Observer) error {
+	if err := m.unavailable(s); err != nil {
+		return err
+	}
+	m.batchMu[s].Lock()
+	defer m.batchMu[s].Unlock()
+	sh := &m.shards[s]
+	return group.ApplyOrdered(sh.heap, sh.idx, ops, obs)
+}
+
+// ApplyShard applies ops — all owned by shard s — as one group commit
+// on that shard's heap; see Ordered.ApplyShard.
+func (m *Hash) ApplyShard(s int, ops []group.U64Op, obs group.Observer) error {
+	if err := m.unavailable(s); err != nil {
+		return err
+	}
+	m.batchMu[s].Lock()
+	defer m.batchMu[s].Unlock()
+	sh := &m.shards[s]
+	return group.ApplyHash(sh.heap, sh.idx, ops, obs)
+}

@@ -14,6 +14,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -131,12 +132,15 @@ func (f *frontend[IX]) QuarantineCause(i int) error {
 }
 
 // RetryShard re-attempts recovery of a quarantined shard under capped
-// exponential backoff: the first attempt may run immediately, each
-// failed attempt doubles the wait before the next (RetryBackoffBase up
-// to RetryBackoffMax), and attempts inside the backoff window return
-// *ShardUnavailableError without touching the shard. On success the
-// shard leaves quarantine and serves again; a no-op on a healthy shard.
-// It must not be called concurrently with index operations on shard i.
+// exponential backoff with full-range jitter: the first attempt may
+// run immediately; after each failure the backoff ceiling doubles
+// (RetryBackoffBase up to RetryBackoffMax) and the actual wait is
+// drawn uniformly from [0, ceiling] — full jitter, so many shards
+// quarantined by one event do not retry in lockstep. Attempts inside
+// the drawn window return *ShardUnavailableError without touching the
+// shard. On success the shard leaves quarantine and serves again; a
+// no-op on a healthy shard. It must not be called concurrently with
+// index operations on shard i.
 func (f *frontend[IX]) RetryShard(i int) error {
 	h := &f.health[i]
 	if !h.quarantined.Load() {
@@ -163,7 +167,7 @@ func (f *frontend[IX]) RetryShard(i int) error {
 			backoff = RetryBackoffMax
 		}
 		h.retries++
-		h.nextRetry = f.clock().Add(backoff)
+		h.nextRetry = f.clock().Add(f.drawJitter(backoff))
 		h.mu.Unlock()
 		return &ShardUnavailableError{Shard: i, Cause: err}
 	}
@@ -183,6 +187,22 @@ func (f *frontend[IX]) clock() time.Time {
 		return f.now()
 	}
 	return time.Now()
+}
+
+// drawJitter draws the actual retry wait uniformly from [0, max] — the
+// full-jitter strategy, which decorrelates retry storms better than
+// partial jitter because the window floor is zero. The source is
+// seeded by Options.RetrySeed (deterministic, for tests) or lazily
+// from the wall clock, and is mutex-guarded: retries of different
+// shards may race.
+func (f *frontend[IX]) drawJitter(max time.Duration) time.Duration {
+	j := f.jitter
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.rng == nil {
+		j.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return time.Duration(j.rng.Int63n(int64(max) + 1))
 }
 
 // PowerCycleShard materialises a lossy post-power-loss image on shard

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"errors"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -210,52 +211,65 @@ func TestQuarantineGracefulDegradation(t *testing.T) {
 }
 
 // TestRetryShardBackoff drives the capped exponential backoff with an
-// injected clock: attempts inside the window return the typed error
-// without touching the shard, each failure doubles the window up to
-// RetryBackoffMax, and success resets everything.
+// injected clock and a seeded jitter source: each failure's wait is
+// drawn full-jitter from [0, ceiling] where the ceiling doubles up to
+// RetryBackoffMax — the test mirrors the rng to pin the exact drawn
+// window, asserts attempts inside it return the typed error without
+// touching the shard, and that success resets everything.
 func TestRetryShardBackoff(t *testing.T) {
 	m, fail := newFlakyOrdered(t, 2, 1)
 	defer m.Release()
 	now := time.Unix(1_000_000, 0)
 	m.now = func() time.Time { return now }
+	const seed = 7
+	m.jitter.rng = rand.New(rand.NewSource(seed))
+	mirror := rand.New(rand.NewSource(seed))
 
 	*fail = true
 	m.Quarantine(1, errRecoveryRejected)
 
-	// First attempt runs immediately and fails: one recovery attempt.
-	if err := m.RetryShard(1); !errors.Is(err, ErrShardUnavailable) {
-		t.Fatalf("first retry: %v", err)
-	}
-	if got := m.Recoveries()[1]; got != 1 {
-		t.Fatalf("recoveries after first retry = %d, want 1", got)
-	}
-
-	// Inside the backoff window nothing touches the shard.
-	now = now.Add(RetryBackoffBase / 2)
-	if err := m.RetryShard(1); !errors.Is(err, ErrShardUnavailable) {
-		t.Fatalf("backoff-window retry: %v", err)
-	}
-	if got := m.Recoveries()[1]; got != 1 {
-		t.Fatalf("backoff window ran a recovery (count %d)", got)
-	}
-
-	// Each elapsed failure doubles the window, capped at RetryBackoffMax.
-	backoff := RetryBackoffBase
-	for i := 0; i < 12; i++ {
-		now = now.Add(backoff)
+	// Thirteen failed attempts: ceilings double 50ms → 5s cap, and the
+	// drawn wait is pinned to the seeded sequence and to [0, ceiling].
+	ceiling := RetryBackoffBase
+	for i := 0; i < 13; i++ {
 		if err := m.RetryShard(1); !errors.Is(err, ErrShardUnavailable) {
 			t.Fatalf("retry %d: %v", i, err)
 		}
-		backoff *= 2
-		if backoff > RetryBackoffMax {
-			backoff = RetryBackoffMax
+		if got, want := m.Recoveries()[1], uint64(i+1); got != want {
+			t.Fatalf("recoveries after retry %d = %d, want %d", i, got, want)
+		}
+		want := time.Duration(mirror.Int63n(int64(ceiling) + 1))
+		if want < 0 || want > ceiling {
+			t.Fatalf("retry %d: drawn wait %v outside the jitter window [0, %v]", i, want, ceiling)
+		}
+		h := &m.health[1]
+		h.mu.Lock()
+		next := h.nextRetry
+		h.mu.Unlock()
+		if got := next.Sub(now); got != want {
+			t.Fatalf("retry %d: jittered wait = %v, want %v (ceiling %v)", i, got, want, ceiling)
+		}
+
+		// Strictly inside the drawn window nothing touches the shard.
+		if want > 0 {
+			now = now.Add(want - time.Nanosecond)
+			if err := m.RetryShard(1); !errors.Is(err, ErrShardUnavailable) {
+				t.Fatalf("in-window retry %d: %v", i, err)
+			}
+			if got := m.Recoveries()[1]; got != uint64(i+1) {
+				t.Fatalf("in-window retry %d ran a recovery (count %d)", i, got)
+			}
+			now = now.Add(time.Nanosecond)
+		}
+
+		ceiling *= 2
+		if ceiling > RetryBackoffMax {
+			ceiling = RetryBackoffMax
 		}
 	}
-	if got := m.Recoveries()[1]; got != 13 {
-		t.Fatalf("recoveries after ladder = %d, want 13", got)
-	}
-	// The window is now capped: RetryBackoffMax ahead must suffice.
-	now = now.Add(RetryBackoffMax)
+	// The ceiling is capped: the drawn wait can never exceed
+	// RetryBackoffMax, so the clock never had to advance past it.
+
 	*fail = false
 	if err := m.RetryShard(1); err != nil {
 		t.Fatalf("retry after cause cleared: %v", err)
@@ -266,6 +280,59 @@ func TestRetryShardBackoff(t *testing.T) {
 	// Healthy-shard retry is a no-op.
 	if err := m.RetryShard(1); err != nil {
 		t.Fatalf("retry on healthy shard: %v", err)
+	}
+}
+
+// TestRetryJitterSeeded: two front-ends with the same RetrySeed draw
+// identical retry schedules; different seeds are allowed to differ —
+// the injectable determinism the campaigns and tests rely on.
+func TestRetryJitterSeeded(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		fail := new(bool)
+		*fail = true
+		m, err := NewOrderedWith(func(heap *pmem.Heap) (core.OrderedIndex, error) {
+			idx, err := core.NewOrdered("P-ART", heap, keys.RandInt)
+			if err != nil {
+				return nil, err
+			}
+			return flakyOrdered{OrderedIndex: idx, fail: fail}, nil
+		}, Options{Shards: 1, RetrySeed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Release()
+		now := time.Unix(1_000_000, 0)
+		m.now = func() time.Time { return now }
+		m.Quarantine(0, errRecoveryRejected)
+
+		var waits []time.Duration
+		for i := 0; i < 8; i++ {
+			if err := m.RetryShard(0); !errors.Is(err, ErrShardUnavailable) {
+				t.Fatalf("retry %d: %v", i, err)
+			}
+			h := &m.health[0]
+			h.mu.Lock()
+			waits = append(waits, h.nextRetry.Sub(now))
+			h.mu.Unlock()
+			now = now.Add(RetryBackoffMax) // always clear the window
+		}
+		return waits
+	}
+
+	a, b, c := draw(11), draw(11), draw(12)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at retry %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter (suspicious)")
 	}
 }
 

@@ -25,6 +25,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -55,6 +56,10 @@ type Options struct {
 	// LLC, shared-atomics ablation). Injectors are not shared: arm a
 	// single shard via Heap(i).SetInjector.
 	Heap pmem.Options
+	// RetrySeed seeds the full-range jitter applied to RetryShard's
+	// capped exponential backoff, making retry schedules deterministic
+	// in tests. Zero draws a time-based seed on first use.
+	RetrySeed int64
 }
 
 func (o Options) shards() int {
@@ -103,6 +108,17 @@ type frontend[IX index] struct {
 	batchMu []sync.Mutex
 	// now overrides the backoff clock in tests; nil selects time.Now.
 	now func() time.Time
+	// jitter holds the seeded source for retry-backoff jitter behind a
+	// pointer: it contains a mutex (retries of different shards may
+	// race), and the frontend value is copied during construction.
+	jitter *jitterSource
+}
+
+// jitterSource is the lazily seeded randomness behind retry-backoff
+// jitter (see quarantine.go).
+type jitterSource struct {
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
 // newFrontend builds one (heap, index) pair per shard.
@@ -111,6 +127,10 @@ func newFrontend[IX index](factory func(*pmem.Heap) (IX, error), opts Options) (
 		shards:  make([]shardOf[IX], opts.shards()),
 		health:  newHealth(opts.shards()),
 		batchMu: make([]sync.Mutex, opts.shards()),
+		jitter:  &jitterSource{},
+	}
+	if opts.RetrySeed != 0 {
+		f.jitter.rng = rand.New(rand.NewSource(opts.RetrySeed))
 	}
 	for i := range f.shards {
 		heap := pmem.New(opts.Heap)
