@@ -11,6 +11,7 @@ package recipe_test
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
 	"testing"
@@ -644,4 +645,60 @@ func BenchmarkAblation_ARTCrashRepair(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkReshardSkew is the resharding headline: P-ART behind the
+// sharded front-end, H=8, zipfian θ=0.99 lookups — the regime where a
+// static hash partition leaves one shard absorbing several times its
+// fair share of traffic. Both cells warm the slot-load counters with
+// the same skewed prelude; the resharded cell then runs the
+// load-aware rebalancer (split/migrate hot slots under the live
+// routing table) before the measured phase. Each cell reports the
+// measured epoch's max/mean per-shard op share — the static cell
+// shows the skew, the resharded cell shows what the slot moves
+// recover. The ≥2× excess-imbalance reduction itself is asserted by
+// shard.TestRebalanceImprovesSkew; this benchmark prices it.
+func BenchmarkReshardSkew(b *testing.B) {
+	const (
+		loadN = 4_096
+		h     = 8
+		warmN = 120_000
+	)
+	run := func(b *testing.B, reshard bool) {
+		m, err := recipe.NewShardedOrdered("P-ART", keys.RandInt, recipe.ShardOptions{Shards: h})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Release()
+		if err := m.EnableResharding(); err != nil {
+			b.Fatal(err)
+		}
+		gen := keys.NewGenerator(keys.RandInt)
+		for id := uint64(0); id < loadN; id++ {
+			if err := m.Insert(gen.Key(id), id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sampler := recipe.Zipfian{Theta: 0.99}.NewSampler(loadN, rand.New(rand.NewSource(42)))
+		for i := 0; i < warmN; i++ {
+			m.Lookup(gen.Key(sampler.Next()))
+		}
+		if reshard {
+			rep, err := m.Rebalance(recipe.RebalanceOptions{Tolerance: 1.05})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rep.Before, "imbalance-warm")
+			b.ReportMetric(float64(len(rep.Moves)), "moves")
+		}
+		m.LoadReport() // close the warm epoch; measure only b.N ops
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Lookup(gen.Key(sampler.Next()))
+		}
+		b.StopTimer()
+		b.ReportMetric(m.LoadReport().Imbalance(), "max/mean-opshare")
+	}
+	b.Run("P-ART/zipf-0.99/shards=8/static", func(b *testing.B) { run(b, false) })
+	b.Run("P-ART/zipf-0.99/shards=8/resharded", func(b *testing.B) { run(b, true) })
 }

@@ -34,6 +34,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -75,6 +76,12 @@ type config struct {
 	// waits before the committer flushes a short batch (0 = commit
 	// whatever is queued immediately).
 	flush time.Duration
+	// reshard splits every sharded -workloads cell around the live
+	// rebalancer: half the ops run against the static partition, the
+	// load-aware rebalancer migrates hot slots, and the second half
+	// runs against the flipped routing table — the row reports both
+	// phases' throughput and imbalance.
+	reshard bool
 }
 
 // commitOpts builds the async pipeline configuration from the flags:
@@ -111,6 +118,7 @@ func main() {
 		flushNS    = flag.Int64("flushns", 0, "async flush deadline in nanoseconds bounding staleness of short batches (0 = commit immediately)")
 		distName   = flag.String("dist", "", `request distribution override: "uniform", "zipfian" or "latest"; empty = each workload's default (uniform; latest for D, zipfian for F)`)
 		theta      = flag.Float64("theta", ycsb.DefaultTheta, "skew parameter in (0,1) for -dist zipfian/latest")
+		reshard    = flag.Bool("reshard", false, "-workloads mode: run the load-aware rebalancer mid-cell on sharded rows and report before/after throughput and per-shard imbalance")
 	)
 	flag.Parse()
 	part, ok := shard.ByName(*partition)
@@ -135,7 +143,7 @@ func main() {
 		loadN: *loadN, opN: *opN, threads: *threads, seed: *seed,
 		heap:   pmem.Options{DelayClwb: *clwbDelay, DelayFence: *fenceDelay},
 		shards: *shards, part: part, scanBatch: *scanBatch, batch: *batch, dist: dist,
-		async: *async, queue: *queue, flush: time.Duration(*flushNS),
+		async: *async, queue: *queue, flush: time.Duration(*flushNS), reshard: *reshard,
 	}
 	if cfg.batch < 1 {
 		fmt.Fprintf(os.Stderr, "-batch must be >= 1, got %d\n", cfg.batch)
@@ -155,6 +163,18 @@ func main() {
 	}
 	if cfg.queue < 0 || cfg.flush < 0 {
 		fmt.Fprintln(os.Stderr, "-queue and -flushns must be >= 0")
+		os.Exit(2)
+	}
+	if cfg.reshard && *workloads == "" {
+		fmt.Fprintln(os.Stderr, "-reshard requires -workloads (it splits each sharded cell around a live rebalance)")
+		os.Exit(2)
+	}
+	if cfg.reshard && (cfg.async || cfg.batch > 1) {
+		// Async pipelines pin routes at enqueue time and must drain
+		// before a flip retires the handoff window (see shard's
+		// ApplyShard doc), so the mid-cell rebalance stays on the
+		// synchronous write path.
+		fmt.Fprintln(os.Stderr, "-reshard is incompatible with -async and -batch > 1")
 		os.Exit(2)
 	}
 
@@ -349,14 +369,14 @@ func runWorkloads(list string, cfg config) {
 		}
 		fmt.Printf("\n-- Workload %s · %s · dist=%s · %s --\n", w.Name, w.Description, dist, w.AppPattern)
 		kinds := kindsOf(w)
-		fmt.Printf("%-14s %2s %9s %9s", "Index", "H", "Mops/s", "fence/op")
+		fmt.Printf("%-14s %2s %9s %9s %7s", "Index", "H", "Mops/s", "fence/op", "imbal")
 		if cfg.async {
 			fmt.Printf(" %9s", "ack-ns")
 		}
 		for _, k := range kinds {
 			fmt.Printf(" %12s %12s", "clwb/"+k.String(), "fence/"+k.String())
 		}
-		fmt.Println("   (clwb/fence columns: exact single-thread attribution)")
+		fmt.Println("   (imbal: max/mean per-shard op share; clwb/fence: exact single-thread attribution)")
 		for _, name := range orderedNames {
 			for _, h := range []int{1, sharded} {
 				c := cfg
@@ -388,6 +408,10 @@ func attrSizes(cfg config) (loadN, opN int) {
 // a multi-threaded throughput run (with the per-shard counter
 // conservation guard) plus the attribution pass, then prints one row.
 func workloadCellOrdered(name string, w ycsb.Workload, cfg config, kinds []ycsb.OpKind) {
+	if cfg.reshard && cfg.shards > 1 {
+		reshardCellOrdered(name, w, cfg)
+		return
+	}
 	m, err := shard.NewOrdered(name, keys.RandInt, shard.Options{
 		Shards: cfg.shards, Partitioner: cfg.part, Heap: cfg.heap, ScanBatch: cfg.scanBatch,
 	})
@@ -420,6 +444,7 @@ func workloadCellOrdered(name string, w ycsb.Workload, cfg config, kinds []ycsb.
 		os.Exit(1)
 	}
 	checkConservation(name, w.Name, m.Stats().Sub(aggBefore), m.ShardStats(), before)
+	imbal := cellImbalance(m.LoadReport(), cfg)
 	m.Release()
 
 	am, err := shard.NewOrdered(name, keys.RandInt, shard.Options{
@@ -448,11 +473,15 @@ func workloadCellOrdered(name string, w ycsb.Workload, cfg config, kinds []ycsb.
 		fmt.Fprintf(os.Stderr, "\n%s/%s: per-op-kind stats do not conserve against aggregate counters\n", name, w.Name)
 		os.Exit(1)
 	}
-	printWorkloadRow(name, cfg, res, attr, kinds)
+	printWorkloadRow(name, cfg, res, attr, kinds, imbal)
 }
 
 // workloadCellHash is workloadCellOrdered for unordered indexes.
 func workloadCellHash(name string, w ycsb.Workload, cfg config, kinds []ycsb.OpKind) {
+	if cfg.reshard && cfg.shards > 1 {
+		reshardCellHash(name, w, cfg)
+		return
+	}
 	m, err := shard.NewHash(name, shard.Options{Shards: cfg.shards, Heap: cfg.heap})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -475,6 +504,7 @@ func workloadCellHash(name string, w ycsb.Workload, cfg config, kinds []ycsb.OpK
 		os.Exit(1)
 	}
 	checkConservation(name, w.Name, m.Stats().Sub(aggBefore), m.ShardStats(), before)
+	imbal := cellImbalance(m.LoadReport(), cfg)
 	m.Release()
 
 	am, err := shard.NewHash(name, shard.Options{Shards: cfg.shards, Heap: cfg.heap})
@@ -501,19 +531,140 @@ func workloadCellHash(name string, w ycsb.Workload, cfg config, kinds []ycsb.OpK
 		fmt.Fprintf(os.Stderr, "\n%s/%s: per-op-kind stats do not conserve against aggregate counters\n", name, w.Name)
 		os.Exit(1)
 	}
-	printWorkloadRow(name, cfg, res, attr, kinds)
+	printWorkloadRow(name, cfg, res, attr, kinds, imbal)
+}
+
+// cellImbalance condenses a cell's LoadReport into the imbal column:
+// the max/mean per-shard share of every op the cell routed (load and
+// run phases both count). Unsharded rows report NaN (printed "-") —
+// one shard is trivially balanced.
+func cellImbalance(rep shard.LoadReport, cfg config) float64 {
+	if cfg.shards < 2 {
+		return math.NaN()
+	}
+	return rep.Imbalance()
+}
+
+// reshardCellOrdered is the -reshard variant of a sharded ordered cell:
+// load, close the load epoch, run half the ops against the static
+// partition, rebalance under live routing, run the rest against the
+// flipped table, and print both phases' throughput and run-phase
+// imbalance. The aggregate-vs-per-shard conservation guard brackets
+// the whole cell, so it also proves Stats() conserves across the
+// migration's cross-heap copies.
+func reshardCellOrdered(name string, w ycsb.Workload, cfg config) {
+	m, err := shard.NewOrdered(name, keys.RandInt, shard.Options{
+		Shards: cfg.shards, Partitioner: cfg.part, Heap: cfg.heap, ScanBatch: cfg.scanBatch,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer m.Release()
+	if err := m.EnableResharding(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	gen := keys.NewGenerator(keys.RandInt)
+	before := m.ShardStats()
+	aggBefore := m.Stats()
+	half := cfg.opN / 2
+	if _, err := harness.RunOrdered(name, m, gen, m, w, cfg.loadN, 0, cfg.threads, cfg.seed); err != nil {
+		if name == "FAST & FAIR" && strings.Contains(err.Error(), "read id") {
+			fmt.Printf("%-14s %2d %9s  skipped: known FAST & FAIR data-loss class under concurrency\n", name, cfg.shards, "-")
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", name, w.Name, err)
+		os.Exit(1)
+	}
+	m.LoadReport() // close the load epoch; imbalance below is run-phase only
+	pre, err := harness.RunOrderedPhase(name, m, gen, m, w, cfg.loadN, half, cfg.threads, cfg.seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", name, w.Name, err)
+		os.Exit(1)
+	}
+	imbPre := m.LoadReport().Imbalance()
+	rb, err := m.Rebalance(shard.RebalanceOptions{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\n%s/%s rebalance: %v\n", name, w.Name, err)
+		os.Exit(1)
+	}
+	// Phase-2 inserts must start past phase 1's so fresh IDs stay fresh.
+	post, err := harness.RunOrderedPhase(name, m, gen, m, w, cfg.loadN+pre.Inserts, cfg.opN-half, cfg.threads, cfg.seed+7)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", name, w.Name, err)
+		os.Exit(1)
+	}
+	imbPost := m.LoadReport().Imbalance()
+	checkConservation(name, w.Name, m.Stats().Sub(aggBefore), m.ShardStats(), before)
+	printReshardRow(name, cfg, pre, post, imbPre, imbPost, len(rb.Moves))
+}
+
+// reshardCellHash is reshardCellOrdered for unordered indexes.
+func reshardCellHash(name string, w ycsb.Workload, cfg config) {
+	m, err := shard.NewHash(name, shard.Options{Shards: cfg.shards, Heap: cfg.heap})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer m.Release()
+	if err := m.EnableResharding(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	gen := keys.NewGenerator(keys.RandInt)
+	before := m.ShardStats()
+	aggBefore := m.Stats()
+	half := cfg.opN / 2
+	if _, err := harness.RunHash(name, m, gen, m, w, cfg.loadN, 0, cfg.threads, cfg.seed); err != nil {
+		fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", name, w.Name, err)
+		os.Exit(1)
+	}
+	m.LoadReport()
+	pre, err := harness.RunHashPhase(name, m, gen, m, w, cfg.loadN, half, cfg.threads, cfg.seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", name, w.Name, err)
+		os.Exit(1)
+	}
+	imbPre := m.LoadReport().Imbalance()
+	rb, err := m.Rebalance(shard.RebalanceOptions{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\n%s/%s rebalance: %v\n", name, w.Name, err)
+		os.Exit(1)
+	}
+	post, err := harness.RunHashPhase(name, m, gen, m, w, cfg.loadN+pre.Inserts, cfg.opN-half, cfg.threads, cfg.seed+7)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\n%s/%s: %v\n", name, w.Name, err)
+		os.Exit(1)
+	}
+	imbPost := m.LoadReport().Imbalance()
+	checkConservation(name, w.Name, m.Stats().Sub(aggBefore), m.ShardStats(), before)
+	printReshardRow(name, cfg, pre, post, imbPre, imbPost, len(rb.Moves))
+}
+
+// printReshardRow prints one -reshard cell: throughput and run-phase
+// max/mean per-shard op share on each side of the mid-cell rebalance,
+// plus how many slot/span moves the rebalancer committed.
+func printReshardRow(name string, cfg config, pre, post harness.Result, imbPre, imbPost float64, moves int) {
+	fmt.Printf("%-14s %2d   pre %8.3f Mops/s imbal %5.2f | rebalance ×%d | post %8.3f Mops/s imbal %5.2f\n",
+		name, cfg.shards, pre.MopsPerSec(), imbPre, moves, post.MopsPerSec(), imbPost)
 }
 
 // printWorkloadRow prints one -workloads table row: throughput, the
 // measured run phase's aggregate fences per op, in async mode the mean
 // enqueue-to-ack latency, plus the attributed clwb/fence per op of
 // each kind in the mix.
-func printWorkloadRow(name string, cfg config, res harness.Result, attr harness.Attribution, kinds []ycsb.OpKind) {
+func printWorkloadRow(name string, cfg config, res harness.Result, attr harness.Attribution, kinds []ycsb.OpKind, imbal float64) {
 	fencePerOp := 0.0
 	if res.Ops > 0 {
 		fencePerOp = float64(res.Stats.Fence) / float64(res.Ops)
 	}
 	fmt.Printf("%-14s %2d %9.3f %9.2f", name, cfg.shards, res.MopsPerSec(), fencePerOp)
+	if math.IsNaN(imbal) {
+		fmt.Printf(" %7s", "-")
+	} else {
+		fmt.Printf(" %7.2f", imbal)
+	}
 	if cfg.async {
 		fmt.Printf(" %9d", res.MeanAckLatency().Nanoseconds())
 	}

@@ -440,6 +440,41 @@ func (idx *Index) doubleDirectory(cur dirIndexState) {
 // Len returns the number of live keys.
 func (idx *Index) Len() int { return int(idx.count.Load()) }
 
+// Range calls fn for every live key/value pair until fn returns false.
+// Enumeration order is unspecified. Splits leave moved keys behind in
+// the old segment as lazy garbage, so Range reports a key only from the
+// segment the directory currently routes it to — each live key is
+// visited exactly once. Pairs are read with the lookup snapshot
+// (value, key-recheck); a consistent cut requires quiesced writers.
+func (idx *Index) Range(fn func(key, value uint64) bool) {
+	v := idx.view()
+	var prev *segment
+	for i := range v.d.entries {
+		s := v.d.entries[i].Load()
+		if s == nil || s == prev {
+			// Entries sharing a segment are contiguous in the directory.
+			continue
+		}
+		prev = s
+		for j := range s.keys {
+			k := s.keys[j].Load()
+			if k == 0 {
+				continue
+			}
+			val := s.vals[j].Load()
+			if s.keys[j].Load() != k {
+				continue
+			}
+			if v.segmentFor(hash(k)) != s {
+				continue // lazy leftover; the owning segment reports it
+			}
+			if !fn(k, val) {
+				return
+			}
+		}
+	}
+}
+
 // Depth returns the directory's global depth as used for indexing.
 func (idx *Index) Depth() uint32 { return idx.view().depth }
 

@@ -359,6 +359,34 @@ func (idx *Index) copyInto(t *table, key, value uint64) {
 // Len returns the number of live keys.
 func (idx *Index) Len() int { return int(idx.count.Load()) }
 
+// Range calls fn for every live key/value pair until fn returns false.
+// Enumeration order is unspecified. Each pair is read with the same
+// atomic (value, key-recheck) snapshot lookups use, so Range is safe
+// against concurrent writers, but it only observes a consistent cut of
+// the table when writers are quiesced (the migration copy path holds
+// the handoff window exclusively while it enumerates).
+func (idx *Index) Range(fn func(key, value uint64) bool) {
+	t := idx.tab.Load()
+	for i := range t.buckets {
+		for b := &t.buckets[i]; b != nil; b = b.next.Load() {
+			idx.heap.Load(b.pm, b.off, bucketBytes)
+			for e := 0; e < EntriesPerBucket; e++ {
+				k := b.keys[e].Load()
+				if k == 0 {
+					continue
+				}
+				v := b.vals[e].Load()
+				if b.keys[e].Load() != k {
+					continue
+				}
+				if !fn(k, v) {
+					return
+				}
+			}
+		}
+	}
+}
+
 // Buckets returns the current bucket count (for tests and capacity
 // reporting).
 func (idx *Index) Buckets() int { return len(idx.tab.Load().buckets) }

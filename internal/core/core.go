@@ -61,6 +61,18 @@ type HashIndex interface {
 	Len() int
 }
 
+// HashRanger is the optional enumeration capability of an unordered
+// index: Range calls fn for every live key/value pair until fn returns
+// false, in unspecified order. All three registry hash indexes
+// implement it; the sharded front-end's migration path type-asserts it
+// to stream a donor shard (hash tables have no ordered Scan to cursor
+// over). Implementations read pairs with their lookup snapshot, so
+// Range is safe against concurrent writers but only yields a consistent
+// cut when writers are quiesced.
+type HashRanger interface {
+	Range(fn func(key, value uint64) bool)
+}
+
 // Condition is a RECIPE conversion condition (§4).
 type Condition int
 
@@ -200,34 +212,37 @@ func NewOrdered(name string, heap *pmem.Heap, kind keys.Kind) (OrderedIndex, err
 	}
 }
 
-// hashAdapter lifts the hash tables into HashIndex.
+// hashAdapter lifts the hash tables into HashIndex (and HashRanger:
+// every registry hash table provides Range).
 type hashAdapter struct {
 	insert func(uint64, uint64) error
 	lookup func(uint64) (uint64, bool)
 	del    func(uint64) (bool, error)
 	rec    func() error
 	length func() int
+	ranger func(func(uint64, uint64) bool)
 }
 
-func (a *hashAdapter) Insert(k, v uint64) error       { return a.insert(k, v) }
-func (a *hashAdapter) Update(k, v uint64) error       { return a.insert(k, v) }
-func (a *hashAdapter) Lookup(k uint64) (uint64, bool) { return a.lookup(k) }
-func (a *hashAdapter) Delete(k uint64) (bool, error)  { return a.del(k) }
-func (a *hashAdapter) Recover() error                 { return a.rec() }
-func (a *hashAdapter) Len() int                       { return a.length() }
+func (a *hashAdapter) Insert(k, v uint64) error        { return a.insert(k, v) }
+func (a *hashAdapter) Update(k, v uint64) error        { return a.insert(k, v) }
+func (a *hashAdapter) Lookup(k uint64) (uint64, bool)  { return a.lookup(k) }
+func (a *hashAdapter) Delete(k uint64) (bool, error)   { return a.del(k) }
+func (a *hashAdapter) Recover() error                  { return a.rec() }
+func (a *hashAdapter) Len() int                        { return a.length() }
+func (a *hashAdapter) Range(fn func(k, v uint64) bool) { a.ranger(fn) }
 
 // NewHash constructs the named unordered index on heap.
 func NewHash(name string, heap *pmem.Heap) (HashIndex, error) {
 	switch name {
 	case "P-CLHT":
 		t := clht.New(heap)
-		return &hashAdapter{t.Insert, t.Lookup, t.Delete, func() error { t.Recover(); return nil }, t.Len}, nil
+		return &hashAdapter{t.Insert, t.Lookup, t.Delete, func() error { t.Recover(); return nil }, t.Len, t.Range}, nil
 	case "CCEH":
 		t := cceh.New(heap)
-		return &hashAdapter{t.Insert, t.Lookup, t.Delete, t.Recover, t.Len}, nil
+		return &hashAdapter{t.Insert, t.Lookup, t.Delete, t.Recover, t.Len, t.Range}, nil
 	case "Level Hashing":
 		t := levelhash.New(heap)
-		return &hashAdapter{t.Insert, t.Lookup, t.Delete, func() error { t.Recover(); return nil }, t.Len}, nil
+		return &hashAdapter{t.Insert, t.Lookup, t.Delete, func() error { t.Recover(); return nil }, t.Len, t.Range}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown hash index %q", name)
 	}

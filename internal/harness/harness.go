@@ -132,6 +132,46 @@ func RunOrdered(name string, idx core.OrderedIndex, gen *keys.Generator, stats S
 	return res, nil
 }
 
+// RunOrderedPhase executes one measured workload phase against an
+// already-populated index — no load phase. Callers that split a cell
+// around an online event (cmd/ycsbbench -reshard runs the rebalancer
+// between two phases) use it to measure the second phase against the
+// population the first phase left behind; loadN must match the
+// population so the request samplers draw from live keys.
+func RunOrderedPhase(name string, idx core.OrderedIndex, gen *keys.Generator, stats StatsSource, w ycsb.Workload, loadN, opN, threads int, seed int64) (Result, error) {
+	plan := ycsb.Generate(w, loadN, opN, threads, seed)
+	before := stats.Stats()
+	start := time.Now()
+	if err := execOrdered(idx, gen, plan); err != nil {
+		return Result{}, fmt.Errorf("run phase: %w", err)
+	}
+	elapsed := time.Since(start)
+	return Result{
+		Index: name, Workload: w.Name, KeyKind: gen.Kind(), Threads: threads,
+		Ops: plan.TotalOps(), Elapsed: elapsed, Stats: stats.Stats().Sub(before),
+		Inserts: plan.Inserts, Counts: plan.Counts,
+	}, nil
+}
+
+// RunHashPhase is RunOrderedPhase for unordered indexes.
+func RunHashPhase(name string, idx core.HashIndex, gen *keys.Generator, stats StatsSource, w ycsb.Workload, loadN, opN, threads int, seed int64) (Result, error) {
+	if w.ScanPct > 0 {
+		return Result{}, fmt.Errorf("harness: workload %s has scans; unordered indexes do not support them", w.Name)
+	}
+	plan := ycsb.Generate(w, loadN, opN, threads, seed)
+	before := stats.Stats()
+	start := time.Now()
+	if err := execHash(idx, gen, plan); err != nil {
+		return Result{}, fmt.Errorf("run phase: %w", err)
+	}
+	elapsed := time.Since(start)
+	return Result{
+		Index: name, Workload: w.Name, KeyKind: gen.Kind(), Threads: threads,
+		Ops: plan.TotalOps(), Elapsed: elapsed, Stats: stats.Stats().Sub(before),
+		Inserts: plan.Inserts, Counts: plan.Counts,
+	}, nil
+}
+
 // RunHash is RunOrdered for unordered indexes (integer keys only, as in
 // the paper; scan ops are invalid).
 func RunHash(name string, idx core.HashIndex, gen *keys.Generator, stats StatsSource, w ycsb.Workload, loadN, opN, threads int, seed int64) (Result, error) {

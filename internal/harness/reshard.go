@@ -1,0 +1,473 @@
+// Crash-mid-migration campaigns: the lossy power-failure methodology
+// and the per-site durability sweep, extended to the resharding
+// protocol's crash sites (shard.SiteCopyApplied on the recipient,
+// shard.SiteFlipPublished on the donor, and the group-commit sites a
+// copy batch passes through on the recipient).
+//
+// Each trial builds a fresh sharded front-end with resharding enabled,
+// loads it, then runs a slot (or range) migration with a crash armed on
+// the role-appropriate shard's heap. After the crash the trial
+// power-cycles only that shard, runs the crashed-shard recovery sweep,
+// and asserts the resharding invariants on top of the usual lossy
+// verdicts:
+//
+//   - recovery replays exactly the crashed shard — a migration crash
+//     must never force healthy shards through recovery;
+//   - every acknowledged write reads back through the surviving routing
+//     table (donor-authoritative after an abort, recipient-owned after
+//     a published flip);
+//   - the merged scan stays duplicate-free — migration residue on
+//     either side of the handoff is deduplicated, not double-counted;
+//   - an aborted migration is retryable to completion afterwards.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/crash"
+	"repro/internal/group"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+	"repro/shard"
+)
+
+// ReshardSiteReport is one (crash site, host shard) row in a reshard
+// campaign.
+type ReshardSiteReport struct {
+	// Site is the crash-site name.
+	Site string
+	// Host is the shard whose heap the injector was armed on (the
+	// recipient for copy-path sites, the donor for the flip site).
+	Host int
+	// Fired reports whether the migration reached the site and crashed.
+	Fired bool
+	// Outcome is the trial's worst observation (lossy verdict scale).
+	Outcome LossyOutcome
+	// LostAcks counts acknowledged writes missing after recovery.
+	LostAcks int
+	// Detail describes the first failure (empty for CLEAN/PARTIAL).
+	Detail string
+	// Replays is the per-shard recovery replay count after the trial;
+	// Pass requires zeros everywhere but Host.
+	Replays []uint64
+	// RecoveryViolations and OpViolations are the durability-mode flush
+	// coverage counters (always zero in lossy mode).
+	RecoveryViolations int
+	OpViolations       int
+	// Cycle is the power cycle's damage report (lossy mode).
+	Cycle pmem.CycleReport
+}
+
+// ReshardCampaignReport summarises one index × mode reshard campaign.
+type ReshardCampaignReport struct {
+	Index string
+	// Mode is "lossy" or "durability".
+	Mode string
+	// Policy is the power-cycle policy (lossy mode).
+	Policy pmem.Policy
+	// Seed drove the torn coin flips (combined per site).
+	Seed int64
+	// Shards is the front-end width of every trial.
+	Shards int
+	// PostOps is the number of post-recovery inserts verified per site.
+	PostOps int
+	// Sites holds one row per (site, host) pair, in sweep order.
+	Sites []ReshardSiteReport
+}
+
+// Fired counts trials that actually crashed.
+func (r ReshardCampaignReport) Fired() int {
+	n := 0
+	for _, s := range r.Sites {
+		if s.Fired {
+			n++
+		}
+	}
+	return n
+}
+
+// Pass reports whether no trial lost acknowledged data, corrupted the
+// front-end, replayed a healthy shard, or (durability mode) left a line
+// unflushed at a boundary.
+func (r ReshardCampaignReport) Pass() bool {
+	for _, s := range r.Sites {
+		if s.Outcome == OutcomeLostAck || s.Outcome == OutcomeCorrupt {
+			return false
+		}
+		if s.RecoveryViolations != 0 || s.OpViolations != 0 {
+			return false
+		}
+		for i, c := range s.Replays {
+			if want := uint64(0); i == s.Host && s.Fired {
+				want = 1
+			} else if c != want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (r ReshardCampaignReport) String() string {
+	verdict := "PASS"
+	if !r.Pass() {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%-12s mode=%-10s policy=%-6s sites=%d fired=%d lostAck=%d corrupt=%d  %s",
+		r.Index, r.Mode, r.Policy, len(r.Sites), r.Fired(),
+		r.Count(OutcomeLostAck), r.Count(OutcomeCorrupt), verdict)
+}
+
+// Count returns the number of fired trials with the given outcome.
+func (r ReshardCampaignReport) Count(o LossyOutcome) int {
+	n := 0
+	for _, s := range r.Sites {
+		if s.Fired && s.Outcome == o {
+			n++
+		}
+	}
+	return n
+}
+
+// reshardRig binds one sharded front-end trial behind key-type-neutral
+// closures, so the sweep core serves both Ordered and Hash.
+type reshardRig struct {
+	insert     func(id uint64) error
+	lookup     func(id uint64) (uint64, bool)
+	migrate    func() error        // the armed migration (donor -> recipient)
+	scanUnique func() (int, error) // merged-scan unique count; -1 = unsupported
+	heap       func(i int) *pmem.Heap
+	powerCycle func(i int, p pmem.Policy, seed int64) pmem.CycleReport
+	recoverCr  func() ([]int, error)
+	recoveries func() []uint64
+	release    func()
+	shards     int
+	donor      int
+	recipient  int
+}
+
+// reshardPair is one sweep entry: a crash site and which migration role
+// hosts the injector.
+type reshardPair struct {
+	site    string
+	onDonor bool
+	// flips reports that a crash at this site lands after the flip
+	// published (the migration stands); everywhere else it aborts.
+	flips bool
+}
+
+// reshardPairs is the sweep: every crash boundary the migration
+// protocol adds, plus the group-commit sites its copy batches pass
+// through on the recipient.
+func reshardPairs() []reshardPair {
+	return []reshardPair{
+		{site: group.SiteOpApplied},
+		{site: group.SiteCommitFenced},
+		{site: shard.SiteCopyApplied},
+		{site: shard.SiteFlipPublished, onDonor: true, flips: true},
+	}
+}
+
+// rigOrdered builds one ordered-front-end trial. ranged selects a
+// range-partitioned front-end migrating the upper half of the donor's
+// span; otherwise half the donor's slots move.
+func rigOrdered(name string, kind keys.Kind, h int, ranged bool, heapOpts pmem.Options) (*reshardRig, error) {
+	opts := shard.Options{Shards: h, Heap: heapOpts}
+	if ranged {
+		opts.Partitioner = shard.RangePartition{}
+	}
+	m, err := shard.NewOrdered(name, kind, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.EnableResharding(); err != nil {
+		m.Release()
+		return nil, err
+	}
+	gen := keys.NewGenerator(kind)
+	migrate := func() error {
+		slots := m.SlotsOf(0)
+		return m.MigrateSlots(0, 1, slots[:len(slots)/2], 32)
+	}
+	if ranged {
+		width := ^uint64(0)/uint64(h) + 1
+		migrate = func() error { return m.MigrateRange(0, 1, width/2, width-1, 32) }
+	}
+	return &reshardRig{
+		insert:  func(id uint64) error { return m.Insert(gen.Key(id), id) },
+		lookup:  func(id uint64) (uint64, bool) { return m.Lookup(gen.Key(id)) },
+		migrate: migrate,
+		scanUnique: func() (int, error) {
+			return guardCount(func() int {
+				seen := 0
+				var prev []byte
+				m.Scan(nil, 0, func(k []byte, v uint64) bool {
+					if prev != nil && string(prev) >= string(k) {
+						seen = -1
+						return false
+					}
+					prev = append(prev[:0], k...)
+					seen++
+					return true
+				})
+				return seen
+			})
+		},
+		heap:       m.Heap,
+		powerCycle: m.PowerCycleShard,
+		recoverCr:  m.RecoverCrashed,
+		recoveries: m.Recoveries,
+		release:    m.Release,
+		shards:     h,
+		donor:      0,
+		recipient:  1,
+	}, nil
+}
+
+// rigHash builds one unordered-front-end trial (slot migration via the
+// HashRanger enumeration path).
+func rigHash(name string, h int, heapOpts pmem.Options) (*reshardRig, error) {
+	m, err := shard.NewHash(name, shard.Options{Shards: h, Heap: heapOpts})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.EnableResharding(); err != nil {
+		m.Release()
+		return nil, err
+	}
+	gen := keys.NewGenerator(keys.RandInt)
+	return &reshardRig{
+		insert: func(id uint64) error { return m.Insert(gen.Uint64(id)|1, id) },
+		lookup: func(id uint64) (uint64, bool) { return m.Lookup(gen.Uint64(id) | 1) },
+		migrate: func() error {
+			slots := m.SlotsOf(0)
+			return m.MigrateSlots(0, 1, slots[:len(slots)/2], 32)
+		},
+		scanUnique: func() (int, error) { return -1, nil },
+		heap:       m.Heap,
+		powerCycle: m.PowerCycleShard,
+		recoverCr:  m.RecoverCrashed,
+		recoveries: m.Recoveries,
+		release:    m.Release,
+		shards:     h,
+		donor:      0,
+		recipient:  1,
+	}, nil
+}
+
+// guardCount is guard for an int-returning readback.
+func guardCount(f func() int) (n int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return f(), nil
+}
+
+// ReshardLossyOrdered runs the lossy crash-mid-migration campaign for
+// an ordered index over every reshard sweep site.
+func ReshardLossyOrdered(name string, kind keys.Kind, ranged bool, policy pmem.Policy, seed int64, shards, loadN, postN, workers int) ReshardCampaignReport {
+	build := func() (*reshardRig, error) {
+		return rigOrdered(name, kind, shards, ranged, pmem.Options{Shadow: true})
+	}
+	return reshardCampaign(name, "lossy", policy, seed, shards, loadN, postN, workers, build)
+}
+
+// ReshardLossyHash is ReshardLossyOrdered for unordered indexes.
+func ReshardLossyHash(name string, policy pmem.Policy, seed int64, shards, loadN, postN, workers int) ReshardCampaignReport {
+	build := func() (*reshardRig, error) {
+		return rigHash(name, shards, pmem.Options{Shadow: true})
+	}
+	return reshardCampaign(name, "lossy", policy, seed, shards, loadN, postN, workers, build)
+}
+
+// ReshardDurabilityOrdered runs the flush-coverage variant: Track-mode
+// heaps, no power loss, asserting that recovery and post-crash traffic
+// leave every dirtied line flushed and fenced at operation boundaries.
+func ReshardDurabilityOrdered(name string, kind keys.Kind, ranged bool, shards, loadN, postN, workers int) ReshardCampaignReport {
+	build := func() (*reshardRig, error) {
+		return rigOrdered(name, kind, shards, ranged, pmem.Options{Track: true})
+	}
+	return reshardCampaign(name, "durability", 0, 0, shards, loadN, postN, workers, build)
+}
+
+// ReshardDurabilityHash is ReshardDurabilityOrdered for unordered
+// indexes.
+func ReshardDurabilityHash(name string, shards, loadN, postN, workers int) ReshardCampaignReport {
+	build := func() (*reshardRig, error) {
+		return rigHash(name, shards, pmem.Options{Track: true})
+	}
+	return reshardCampaign(name, "durability", 0, 0, shards, loadN, postN, workers, build)
+}
+
+func reshardCampaign(name, mode string, policy pmem.Policy, seed int64, shards, loadN, postN, workers int, build func() (*reshardRig, error)) ReshardCampaignReport {
+	pairs := reshardPairs()
+	rep := ReshardCampaignReport{
+		Index: name, Mode: mode, Policy: policy, Seed: seed,
+		Shards: shards, PostOps: postN, Sites: make([]ReshardSiteReport, len(pairs)),
+	}
+	forEachSite(len(pairs), workers, func(i int) {
+		rep.Sites[i] = reshardAtSite(pairs[i], mode, policy, siteSeed(seed, pairs[i].site), loadN, postN, build)
+	})
+	return rep
+}
+
+// reshardAtSite is one trial; see the package comment for the protocol
+// and the invariants asserted.
+func reshardAtSite(pair reshardPair, mode string, policy pmem.Policy, seed int64, loadN, postN int, build func() (*reshardRig, error)) ReshardSiteReport {
+	r := ReshardSiteReport{Site: pair.site}
+	rig, err := build()
+	if err != nil {
+		r.Outcome, r.Detail = OutcomeCorrupt, fmt.Sprintf("build: %v", err)
+		return r
+	}
+	defer rig.release()
+	r.Host = rig.recipient
+	if pair.onDonor {
+		r.Host = rig.donor
+	}
+
+	fail := func(o LossyOutcome, detail string) {
+		if o > r.Outcome {
+			r.Outcome = o
+			r.Detail = detail
+		}
+	}
+
+	committed := make([]uint64, 0, loadN)
+	for i := 0; i < loadN; i++ {
+		id := uint64(i)
+		if err := rig.insert(id); err != nil {
+			fail(OutcomeCorrupt, fmt.Sprintf("load insert %d: %v", id, err))
+			return r
+		}
+		committed = append(committed, id)
+	}
+
+	// Arm the host shard and run the migration into the crash.
+	inj := crash.NewAtSite(pair.site, 1)
+	rig.heap(r.Host).SetInjector(inj)
+	merr := guard(rig.migrate)
+	r.Fired = inj.Fired()
+	if !r.Fired {
+		rig.heap(r.Host).SetInjector(nil)
+		if merr != nil {
+			fail(OutcomeCorrupt, fmt.Sprintf("migration failed without firing: %v", merr))
+		}
+		return r
+	}
+	if merr == nil {
+		fail(OutcomeCorrupt, "migration acknowledged success despite an injected crash")
+		return r
+	}
+
+	// Restart only the crashed shard: lossy mode materialises its
+	// post-power-loss image first; durability mode adopts power-cycle
+	// semantics on its flush tracker.
+	if mode == "lossy" {
+		r.Cycle = rig.powerCycle(r.Host, policy, seed)
+	} else {
+		rig.heap(r.Host).Tracker().Reset()
+	}
+	recovered, rerr := rig.recoverCr()
+	r.Replays = rig.recoveries()
+	if rerr != nil {
+		fail(OutcomeCorrupt, fmt.Sprintf("recovery: %v", rerr))
+		return r
+	}
+	if len(recovered) != 1 || recovered[0] != r.Host {
+		fail(OutcomeCorrupt, fmt.Sprintf("recovered %v, want [%d]", recovered, r.Host))
+		return r
+	}
+	if mode == "durability" {
+		if v := rig.heap(r.Host).Tracker().Check(); len(v) != 0 {
+			r.RecoveryViolations = len(v)
+			rig.heap(r.Host).Tracker().Reset()
+		}
+	}
+
+	verify := func(phase string) bool {
+		err := guard(func() error {
+			for _, id := range committed {
+				v, ok := rig.lookup(id)
+				switch {
+				case !ok:
+					r.LostAcks++
+					fail(OutcomeLostAck, fmt.Sprintf("%s: acknowledged id %d missing", phase, id))
+				case v != id:
+					r.LostAcks++
+					fail(OutcomeCorrupt, fmt.Sprintf("%s: id %d read back %d", phase, id, v))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			fail(OutcomeCorrupt, fmt.Sprintf("%s: %v", phase, err))
+			return false
+		}
+		if n, err := rig.scanUnique(); err != nil || (n >= 0 && n != len(committed)) {
+			fail(OutcomeCorrupt, fmt.Sprintf("%s: unique scan %d (err %v), want %d", phase, n, err, len(committed)))
+			return false
+		}
+		return true
+	}
+	if !verify("readback") {
+		return r
+	}
+
+	// The surviving routing table must keep serving writes.
+	post := make([]uint64, 0, postN)
+	for i := 0; i < postN; i++ {
+		id := uint64(1_000_000 + i)
+		if err := guard(func() error { return rig.insert(id) }); err != nil {
+			fail(OutcomeCorrupt, fmt.Sprintf("post-crash insert %d: %v", id, err))
+			return r
+		}
+		post = append(post, id)
+		if mode == "durability" {
+			r.OpViolations += checkAllTrackers(rig)
+		}
+	}
+	err = guard(func() error {
+		for _, id := range post {
+			if v, ok := rig.lookup(id); !ok || v != id {
+				fail(OutcomeCorrupt, fmt.Sprintf("post-crash id %d: ok=%v v=%d", id, ok, v))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fail(OutcomeCorrupt, fmt.Sprintf("post-crash readback: %v", err))
+		return r
+	}
+	committed = append(committed, post...)
+
+	// An aborted migration must be retryable to completion; a published
+	// flip already stands, so there is nothing to redo.
+	if !pair.flips {
+		if err := guard(rig.migrate); err != nil {
+			fail(OutcomeCorrupt, fmt.Sprintf("retry migration: %v", err))
+			return r
+		}
+		if mode == "durability" {
+			r.OpViolations += checkAllTrackers(rig)
+		}
+	}
+	verify("final readback")
+	return r
+}
+
+// checkAllTrackers sums flush-coverage violations over every shard's
+// tracker at an operation boundary, resetting any dirty tracker so one
+// violation is not recounted at every later boundary.
+func checkAllTrackers(rig *reshardRig) int {
+	n := 0
+	for i := 0; i < rig.shards; i++ {
+		if v := rig.heap(i).Tracker().Check(); len(v) != 0 {
+			n += len(v)
+			rig.heap(i).Tracker().Reset()
+		}
+	}
+	return n
+}

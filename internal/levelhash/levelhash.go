@@ -363,6 +363,33 @@ func place(b *bucket, key, value uint64) bool {
 // Len returns the number of live keys.
 func (idx *Index) Len() int { return int(idx.count.Load()) }
 
+// Range calls fn for every live key/value pair until fn returns false.
+// Enumeration order is unspecified. Both levels of one atomically
+// loaded table are swept with the lookup snapshot (value, key-recheck);
+// a consistent cut requires quiesced writers.
+func (idx *Index) Range(fn func(key, value uint64) bool) {
+	t := idx.tab.Load()
+	for _, l := range [2]*level{t.top, t.bottom} {
+		for i := range l.buckets {
+			b := &l.buckets[i]
+			idx.heap.Load(b.pm, b.off, bucketBytes)
+			for e := 0; e < SlotsPerBucket; e++ {
+				k := b.keys[e].Load()
+				if k == 0 {
+					continue
+				}
+				v := b.vals[e].Load()
+				if b.keys[e].Load() != k {
+					continue
+				}
+				if !fn(k, v) {
+					return
+				}
+			}
+		}
+	}
+}
+
 // TopBuckets returns the current top-level bucket count.
 func (idx *Index) TopBuckets() int { return len(idx.tab.Load().top.buckets) }
 

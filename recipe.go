@@ -659,3 +659,73 @@ func Table2() string { return core.Table2() }
 // extended with the beyond-the-paper D and F rows and each row's
 // default request distribution.
 func Table3() string { return ycsb.Describe() }
+
+// LoadReport is an epoch-windowed per-shard load snapshot of a sharded
+// front-end: call ShardedOrdered/ShardedHash LoadReport() to close the
+// current accounting epoch and get op/clwb/fence deltas per shard since
+// the previous call, with no writer quiescing. Imbalance() (busiest
+// shard's share over the mean) is the rebalancer's trigger metric.
+type LoadReport = shard.LoadReport
+
+// ShardLoad is one shard's row in a LoadReport.
+type ShardLoad = shard.ShardLoad
+
+// RebalanceOptions tunes the load-driven rebalancer (move budget,
+// target imbalance tolerance, migration copy batch size).
+type RebalanceOptions = shard.RebalanceOptions
+
+// RebalanceReport summarises one Rebalance call: projected imbalance
+// before/after and the migrations performed.
+type RebalanceReport = shard.RebalanceReport
+
+// MoveReport describes one migration a Rebalance call performed.
+type MoveReport = shard.MoveReport
+
+// Crash sites of the live-migration protocol, in addition to the
+// group-commit sites each copy batch passes through.
+const (
+	SiteReshardCopyApplied   = shard.SiteCopyApplied
+	SiteReshardFlipPublished = shard.SiteFlipPublished
+)
+
+// Resharding errors; see the shard package.
+var (
+	ErrNotReshardable     = shard.ErrNotReshardable
+	ErrReshardingDisabled = shard.ErrReshardingDisabled
+	ErrMigrationAborted   = shard.ErrMigrationAborted
+)
+
+// ReshardCampaignReport summarises a crash-mid-migration campaign.
+type ReshardCampaignReport = harness.ReshardCampaignReport
+
+// ReshardSiteReport is one (crash site, host shard) campaign row.
+type ReshardSiteReport = harness.ReshardSiteReport
+
+// ReshardLossyOrdered runs the lossy power-failure campaign over the
+// live-migration crash sites for a sharded ordered index: crash at each
+// site (on the recipient for copy-path sites, the donor for the flip),
+// power-cycle only that shard under the policy, recover, and verify
+// zero lost acknowledgements, a duplicate-free merged scan, zero
+// healthy-shard replays, and that an aborted migration is retryable.
+func ReshardLossyOrdered(name string, kind KeyKind, ranged bool, policy CyclePolicy, seed int64, shards, loadN, postN, workers int) ReshardCampaignReport {
+	return harness.ReshardLossyOrdered(name, kind, ranged, policy, seed, shards, loadN, postN, workers)
+}
+
+// ReshardLossyHash is ReshardLossyOrdered for unordered indexes.
+func ReshardLossyHash(name string, policy CyclePolicy, seed int64, shards, loadN, postN, workers int) ReshardCampaignReport {
+	return harness.ReshardLossyHash(name, policy, seed, shards, loadN, postN, workers)
+}
+
+// ReshardDurabilityOrdered is the flush-coverage variant of
+// ReshardLossyOrdered: Track-mode heaps, no power loss, asserting every
+// dirtied line is flushed and fenced at operation boundaries through
+// the crash, recovery, and retry.
+func ReshardDurabilityOrdered(name string, kind KeyKind, ranged bool, shards, loadN, postN, workers int) ReshardCampaignReport {
+	return harness.ReshardDurabilityOrdered(name, kind, ranged, shards, loadN, postN, workers)
+}
+
+// ReshardDurabilityHash is ReshardDurabilityOrdered for unordered
+// indexes.
+func ReshardDurabilityHash(name string, shards, loadN, postN, workers int) ReshardCampaignReport {
+	return harness.ReshardDurabilityHash(name, shards, loadN, postN, workers)
+}

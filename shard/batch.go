@@ -171,15 +171,102 @@ func (m *Ordered) ApplyBatch(ops []group.ByteOp) error {
 // index after its covering fence (the group.Observer contract, with
 // indices translated out of sub-batch space).
 func (m *Ordered) ApplyBatchObserved(ops []group.ByteOp, obs group.Observer) error {
+	if len(m.shards) == 1 {
+		m.opCount[0].Add(uint64(len(ops)))
+		subs := partition(len(ops), 1, nil)
+		return m.applyBatch(subs, m.applyOrderedSub(ops, obs))
+	}
+	g := m.gate.enter()
+	defer m.gate.exit(g)
+	if t := m.rt.Load(); t != nil {
+		return m.applyBatchTable(t, ops, obs)
+	}
 	subs := partition(len(ops), len(m.shards), func(i int) int { return m.route(ops[i].Key) })
-	return m.applyBatch(subs, func(sb subBatch) error {
+	return m.applyBatch(subs, m.applyOrderedSub(ops, obs))
+}
+
+// applyOrderedSub builds the per-sub-batch group-commit step shared by
+// the pristine and table-routed batch paths.
+func (m *Ordered) applyOrderedSub(ops []group.ByteOp, obs group.Observer) func(sb subBatch) error {
+	return func(sb subBatch) error {
 		sub := make([]group.ByteOp, len(sb.idxs))
 		for j, i := range sb.idxs {
 			sub[j] = ops[i]
 		}
 		sh := &m.shards[sb.shard]
 		return group.ApplyOrdered(sh.heap, sh.idx, sub, translate(obs, sb.idxs))
+	}
+}
+
+// applyBatchTable is the table-routed batch path. When a handoff window
+// is open it holds the window shared for the whole batch (so a copy
+// batch cannot interleave between a donor sub-batch and its shadow) and
+// shadow-applies the covered slice of the donor's applied ops to the
+// recipient as one extra group commit with no observer — shadow writes
+// are not separately acknowledged.
+func (m *Ordered) applyBatchTable(t *routeTable, ops []group.ByteOp, obs group.Observer) error {
+	points := make([]uint64, len(ops))
+	subs := partition(len(ops), len(m.shards), func(i int) int {
+		s, p := m.locateKey(t, ops[i].Key)
+		points[i] = p
+		return s
 	})
+	mg := t.mig
+	if mg == nil {
+		return m.applyBatch(subs, m.applyOrderedSub(ops, obs))
+	}
+	mg.mu.RLock()
+	defer mg.mu.RUnlock()
+	err := m.applyBatch(subs, m.applyOrderedSub(ops, obs))
+	shadowIdxs := shadowApplied(subs, err, mg, t, points)
+	if len(shadowIdxs) == 0 {
+		return err
+	}
+	if m.unavailable(mg.recipient) != nil {
+		mg.failed.Store(true)
+		return err
+	}
+	shadow := make([]group.ByteOp, len(shadowIdxs))
+	for j, i := range shadowIdxs {
+		shadow[j] = ops[i]
+	}
+	sh := &m.shards[mg.recipient]
+	m.batchMu[mg.recipient].Lock()
+	serr := group.ApplyOrdered(sh.heap, sh.idx, shadow, nil)
+	m.batchMu[mg.recipient].Unlock()
+	if serr != nil {
+		mg.failed.Store(true)
+	}
+	return err
+}
+
+// shadowApplied returns the original batch indices that must be
+// shadow-applied to the migration recipient: the window-covered ops
+// among the donor sub-batch's applied prefix (the whole sub-batch
+// unless it failed part-way).
+func shadowApplied(subs []subBatch, err error, mg *migration, t *routeTable, points []uint64) []int {
+	for _, sb := range subs {
+		if sb.shard != mg.donor {
+			continue
+		}
+		applied := len(sb.idxs)
+		if be, ok := err.(*BatchError); ok {
+			for i := range be.Failed {
+				if be.Failed[i].Shard == mg.donor {
+					applied = be.Failed[i].Applied
+					break
+				}
+			}
+		}
+		var out []int
+		for _, i := range sb.idxs[:applied] {
+			if mg.covers(points[i], t) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	return nil
 }
 
 // InsertBatch group-commits keys[i] → values[i] insertions. See
@@ -211,15 +298,69 @@ func (m *Hash) ApplyBatch(ops []group.U64Op) error {
 // ApplyBatchObserved is ApplyBatch with per-op instrumentation; see
 // Ordered.ApplyBatchObserved.
 func (m *Hash) ApplyBatchObserved(ops []group.U64Op, obs group.Observer) error {
+	if len(m.shards) == 1 {
+		m.opCount[0].Add(uint64(len(ops)))
+		subs := partition(len(ops), 1, nil)
+		return m.applyBatch(subs, m.applyHashSub(ops, obs))
+	}
+	g := m.gate.enter()
+	defer m.gate.exit(g)
+	if t := m.rt.Load(); t != nil {
+		return m.applyBatchTable(t, ops, obs)
+	}
 	subs := partition(len(ops), len(m.shards), func(i int) int { return m.route(ops[i].Key) })
-	return m.applyBatch(subs, func(sb subBatch) error {
+	return m.applyBatch(subs, m.applyHashSub(ops, obs))
+}
+
+// applyHashSub builds the per-sub-batch group-commit step shared by the
+// pristine and table-routed batch paths.
+func (m *Hash) applyHashSub(ops []group.U64Op, obs group.Observer) func(sb subBatch) error {
+	return func(sb subBatch) error {
 		sub := make([]group.U64Op, len(sb.idxs))
 		for j, i := range sb.idxs {
 			sub[j] = ops[i]
 		}
 		sh := &m.shards[sb.shard]
 		return group.ApplyHash(sh.heap, sh.idx, sub, translate(obs, sb.idxs))
+	}
+}
+
+// applyBatchTable is the table-routed batch path for the unordered
+// front-end; see Ordered.applyBatchTable.
+func (m *Hash) applyBatchTable(t *routeTable, ops []group.U64Op, obs group.Observer) error {
+	points := make([]uint64, len(ops))
+	subs := partition(len(ops), len(m.shards), func(i int) int {
+		s, p := m.locateKey(t, ops[i].Key)
+		points[i] = p
+		return s
 	})
+	mg := t.mig
+	if mg == nil {
+		return m.applyBatch(subs, m.applyHashSub(ops, obs))
+	}
+	mg.mu.RLock()
+	defer mg.mu.RUnlock()
+	err := m.applyBatch(subs, m.applyHashSub(ops, obs))
+	shadowIdxs := shadowApplied(subs, err, mg, t, points)
+	if len(shadowIdxs) == 0 {
+		return err
+	}
+	if m.unavailable(mg.recipient) != nil {
+		mg.failed.Store(true)
+		return err
+	}
+	shadow := make([]group.U64Op, len(shadowIdxs))
+	for j, i := range shadowIdxs {
+		shadow[j] = ops[i]
+	}
+	sh := &m.shards[mg.recipient]
+	m.batchMu[mg.recipient].Lock()
+	serr := group.ApplyHash(sh.heap, sh.idx, shadow, nil)
+	m.batchMu[mg.recipient].Unlock()
+	if serr != nil {
+		mg.failed.Store(true)
+	}
+	return err
 }
 
 // InsertBatch group-commits keys[i] → values[i] insertions. See

@@ -34,6 +34,7 @@ const adaptiveSeed = 32
 // until advance moves past the batch's last entry.
 type shardCursor struct {
 	idx   core.OrderedIndex
+	shard int      // owning shard index (merge-mode duplicate resolution)
 	batch int      // next fill's batch size: adaptive, adaptiveSeed → max
 	max   int      // configured batch cap (Options.ScanBatch)
 	arena []byte   // backing bytes for the current batch's keys
@@ -122,8 +123,14 @@ func (c *shardCursor) advance() {
 }
 
 // cursorHeap is a binary min-heap of shard cursors ordered by head key.
-// Every cursor in the heap is valid; keys route to exactly one shard, so
-// no two heads are ever equal and tie-breaking is moot.
+// Every cursor in the heap is valid. On a pristine front-end keys route
+// to exactly one shard, so no two heads are ever equal; during and after
+// a migration a key may briefly exist on two shards (the recipient's
+// shadow copy, or the donor's residue), in which case the two equal
+// heads are the root and one of its direct children — only two copies
+// of a key can exist, and a non-root node equal to the root's head
+// would force its parent to equal it too, making the parent the second
+// copy. Cursor.Next resolves such pairs by emitting the owner's copy.
 type cursorHeap []*shardCursor
 
 func (h cursorHeap) less(i, j int) bool {
@@ -178,6 +185,13 @@ type Cursor struct {
 	start []byte
 	batch int
 
+	// ownerOf, when non-nil, resolves duplicate heads in merge mode: a
+	// key found on two shards (migration shadow copy or residue) is
+	// emitted only from the shard the routing table currently names as
+	// its owner. Nil on pristine front-ends, where duplicates cannot
+	// occur and head comparisons are skipped.
+	ownerOf func(key []byte) int
+
 	// pending is the cursor whose head the last Next returned; its
 	// advance is deferred to the next call so the returned key stays
 	// valid in the caller's hands across the batch boundary refill.
@@ -202,7 +216,7 @@ func NewCursor(idx core.OrderedIndex, start []byte, batch int) *Cursor {
 // shards, starting at start (nil or empty = from the minimum key). The
 // per-shard batch size is Options.ScanBatch.
 func (m *Ordered) Cursor(start []byte) *Cursor {
-	if len(m.shards) == 1 || orderPreserving(m.part) {
+	if len(m.shards) == 1 || (orderPreserving(m.part) && m.tablePristine()) {
 		first := 0
 		if len(m.shards) > 1 && len(start) > 0 {
 			// Shard order equals key order, so shards before start's
@@ -230,11 +244,41 @@ func (m *Ordered) mergeCursor(start []byte, batch int) *Cursor {
 			continue
 		}
 		if c := newShardCursor(m.shards[i].idx, start, batch); c.valid() {
+			c.shard = i
 			h = append(h, c)
 		}
 	}
 	h.init()
-	return &Cursor{merged: true, heap: h}
+	cur := &Cursor{merged: true, heap: h}
+	if m.rt.Load() != nil {
+		// Resharding enabled: a key may transiently exist on two shards
+		// (shadow copy during a handoff window, donor residue after a
+		// flip). Emit only the copy owned per the current table.
+		cur.ownerOf = func(k []byte) int {
+			t := m.rt.Load()
+			s, _ := t.locate(m.mapper.Point(k))
+			return s
+		}
+	}
+	return cur
+}
+
+// dropHead advances the cursor at heap position j past its head,
+// removing the cursor when exhausted, and restores heap order. The
+// replacement element (when j is filled from the tail) is no smaller
+// than the root, so sifting down suffices.
+func (c *Cursor) dropHead(j int) {
+	c.heap[j].advance()
+	if c.heap[j].valid() {
+		c.heap.siftDown(j)
+		return
+	}
+	last := len(c.heap) - 1
+	c.heap[j] = c.heap[last]
+	c.heap = c.heap[:last]
+	if j < last {
+		c.heap.siftDown(j)
+	}
 }
 
 // Next returns the next entry in ascending key order, or ok = false when
@@ -254,12 +298,38 @@ func (c *Cursor) Next() (key []byte, value uint64, ok bool) {
 		}
 	}
 	if c.merged {
-		if len(c.heap) == 0 {
-			return nil, 0, false
+		for {
+			if len(c.heap) == 0 {
+				return nil, 0, false
+			}
+			k, v := c.heap[0].head()
+			if c.ownerOf == nil {
+				c.pending = c.heap[0]
+				return k, v, true
+			}
+			// Duplicate heads can only pair the root with a direct child
+			// (see cursorHeap); emit the owner's copy, drop the other.
+			dup := -1
+			for j := 1; j <= 2 && j < len(c.heap); j++ {
+				if kj, _ := c.heap[j].head(); bytes.Equal(kj, k) {
+					dup = j
+					break
+				}
+			}
+			if dup < 0 {
+				c.pending = c.heap[0]
+				return k, v, true
+			}
+			if c.ownerOf(k) == c.heap[dup].shard {
+				// The root holds the non-owned copy: drop it and
+				// re-examine the new root (the owned copy).
+				c.dropHead(0)
+				continue
+			}
+			c.dropHead(dup)
+			c.pending = c.heap[0]
+			return k, v, true
 		}
-		k, v := c.heap[0].head()
-		c.pending = c.heap[0]
-		return k, v, true
 	}
 	for {
 		if c.cur == nil || !c.cur.valid() {

@@ -1,0 +1,679 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/crash"
+	"repro/internal/keys"
+	"repro/internal/pmem"
+	"repro/internal/ycsb"
+)
+
+// newReshardOrdered builds a sharded P-ART front-end with resharding
+// enabled (shadow heaps so crash tests can power-cycle).
+func newReshardOrdered(t *testing.T, h int, part Partitioner, shadow bool) *Ordered {
+	t.Helper()
+	m, err := NewOrdered("P-ART", keys.RandInt, Options{
+		Shards:      h,
+		Partitioner: part,
+		Heap:        pmem.Options{Shadow: shadow},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableResharding(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestTableRoutingMatchesPartitioner: the initial routing table must be
+// bit-identical to the stateless partitioner, for both table kinds and
+// many shard counts — EnableResharding may not move a single key.
+func TestTableRoutingMatchesPartitioner(t *testing.T) {
+	gen := keys.NewGenerator(keys.RandInt)
+	sgen := keys.NewGenerator(keys.YCSBString)
+	for _, part := range []Partitioner{HashPartition{}, RangePartition{}} {
+		for _, h := range []int{1, 2, 3, 4, 7, 8, 16} {
+			m, err := NewOrdered("P-ART", keys.RandInt, Options{Shards: h, Partitioner: part})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.EnableResharding(); err != nil {
+				t.Fatal(err)
+			}
+			for id := uint64(0); id < 20_000; id++ {
+				for _, key := range [][]byte{gen.Key(id), sgen.Key(id)} {
+					want := part.Shard(key, h)
+					if got := m.Route(key); got != want {
+						t.Fatalf("%s h=%d key %x: table routes %d, partitioner %d", part.Name(), h, key, got, want)
+					}
+				}
+			}
+			m.Release()
+		}
+	}
+}
+
+// TestTableRoutingMatchesPartitioner64: same for the unordered
+// front-end's slot table.
+func TestTableRoutingMatchesPartitioner64(t *testing.T) {
+	for _, h := range []int{1, 2, 3, 5, 8, 16} {
+		m, err := NewHash("P-CLHT", Options{Shards: h})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.EnableResharding(); err != nil {
+			t.Fatal(err)
+		}
+		for id := uint64(0); id < 50_000; id++ {
+			key := id * 0x9e3779b97f4a7c15
+			want := (HashPartition64{}).Shard(key, h)
+			if got := m.Route(key); got != want {
+				t.Fatalf("h=%d key %#x: table routes %d, partitioner %d", h, key, got, want)
+			}
+		}
+		m.Release()
+	}
+}
+
+// checkOrderedContent verifies every expected key is readable with its
+// expected value and that a merged scan yields exactly the expected keys
+// in strictly ascending order (deduplicating any migration residue).
+func checkOrderedContent(t *testing.T, m *Ordered, gen *keys.Generator, want map[uint64]uint64) {
+	t.Helper()
+	for id, v := range want {
+		got, ok, err := m.LookupChecked(gen.Key(id))
+		if err != nil || !ok || got != v {
+			t.Fatalf("key %d: Lookup = %d, %v, %v; want %d", id, got, ok, err, v)
+		}
+	}
+	seen := 0
+	var prev []byte
+	m.Scan(nil, len(want)+16, func(k []byte, v uint64) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order or duplicate: %x after %x", k, prev)
+		}
+		prev = append(prev[:0], k...)
+		seen++
+		return true
+	})
+	if seen != len(want) {
+		t.Fatalf("scan saw %d unique keys, want %d", seen, len(want))
+	}
+}
+
+// checkStatsConserved asserts the exact cross-shard conservation law:
+// the front-end total equals the field-wise sum of per-shard stats.
+func checkStatsConserved(t *testing.T, total pmem.Stats, per []pmem.Stats) {
+	t.Helper()
+	var sum pmem.Stats
+	for _, s := range per {
+		sum = sum.Add(s)
+	}
+	if sum != total {
+		t.Fatalf("Stats not conserved: total %+v, shard sum %+v", total, sum)
+	}
+}
+
+// TestMigrateSlotsMovesKeys: migrate half of shard 0's slots to shard 1
+// under no traffic; every key stays readable, the merged scan is
+// duplicate-free, routing agrees with shard placement, Stats conserve,
+// and the donor's residue is gone (Len is exact).
+func TestMigrateSlotsMovesKeys(t *testing.T) {
+	const n, h = 4_000, 4
+	m := newReshardOrdered(t, h, HashPartition{}, false)
+	defer m.Release()
+	gen := keys.NewGenerator(keys.RandInt)
+	want := make(map[uint64]uint64, n)
+	for id := uint64(0); id < n; id++ {
+		if err := m.Insert(gen.Key(id), id); err != nil {
+			t.Fatal(err)
+		}
+		want[id] = id
+	}
+	donorLen := m.Shard(0).Len()
+	slots := m.SlotsOf(0)
+	moved := slots[:len(slots)/2]
+	if err := m.MigrateSlots(0, 1, moved, 64); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.TableVersion(); v == 0 {
+		t.Fatal("table version did not advance across flip")
+	}
+	for _, j := range moved {
+		for _, owned := range m.SlotsOf(0) {
+			if owned == j {
+				t.Fatalf("slot %d still owned by donor after flip", j)
+			}
+		}
+	}
+	if got := m.Shard(0).Len(); got >= donorLen {
+		t.Fatalf("donor Len %d not reduced from %d (residue not swept?)", got, donorLen)
+	}
+	if got := m.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	checkOrderedContent(t, m, gen, want)
+	checkStatsConserved(t, m.Stats(), m.ShardStats())
+
+	// Every key must live on exactly the shard the flipped table routes
+	// it to.
+	for id := uint64(0); id < n; id += 13 {
+		key := gen.Key(id)
+		s := m.Route(key)
+		if _, ok := m.Shard(s).Lookup(key); !ok {
+			t.Fatalf("key %d routed to shard %d but absent there", id, s)
+		}
+	}
+}
+
+// TestMigrateRangeMovesKeys: range-partitioned front-end, move the
+// upper half of shard 0's span to the last shard.
+func TestMigrateRangeMovesKeys(t *testing.T) {
+	const n, h = 4_000, 4
+	m := newReshardOrdered(t, h, RangePartition{}, false)
+	defer m.Release()
+	gen := keys.NewGenerator(keys.RandInt)
+	want := make(map[uint64]uint64, n)
+	for id := uint64(0); id < n; id++ {
+		if err := m.Insert(gen.Key(id), id); err != nil {
+			t.Fatal(err)
+		}
+		want[id] = id
+	}
+	width := ^uint64(0)/h + 1
+	lo, hi := width/2, width-1 // upper half of shard 0's span
+	if err := m.MigrateRange(0, h-1, lo, hi, 64); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	checkOrderedContent(t, m, gen, want)
+	checkStatsConserved(t, m.Stats(), m.ShardStats())
+	for id := uint64(0); id < n; id += 7 {
+		key := gen.Key(id)
+		s := m.Route(key)
+		if _, ok := m.Shard(s).Lookup(key); !ok {
+			t.Fatalf("key %d routed to shard %d but absent there", id, s)
+		}
+	}
+}
+
+// TestMigrateHashMovesKeys: unordered front-end slot migration via the
+// HashRanger enumeration path.
+func TestMigrateHashMovesKeys(t *testing.T) {
+	const n, h = 4_000, 4
+	m, err := NewHash("P-CLHT", Options{Shards: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	if err := m.EnableResharding(); err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= n; id++ {
+		if err := m.Insert(id*0x9e3779b97f4a7c15, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slots := m.SlotsOf(2)
+	if err := m.MigrateSlots(2, 3, slots[:len(slots)/2], 64); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	for id := uint64(1); id <= n; id++ {
+		key := id * 0x9e3779b97f4a7c15
+		v, ok, err := m.LookupChecked(key)
+		if err != nil || !ok || v != id {
+			t.Fatalf("key %#x: Lookup = %d, %v, %v; want %d", key, v, ok, err, id)
+		}
+		if _, ok := m.Shard(m.Route(key)).Lookup(key); !ok {
+			t.Fatalf("key %#x absent from its routed shard", key)
+		}
+	}
+	checkStatsConserved(t, m.Stats(), m.ShardStats())
+}
+
+// TestMigrateUnderConcurrentWriters runs point writes and batch writes
+// from several goroutines while slots migrate between shards, then
+// verifies every acknowledged final value — the double-applied handoff
+// window must never lose or resurrect a write. Run with -race.
+func TestMigrateUnderConcurrentWriters(t *testing.T) {
+	const (
+		h       = 4
+		writers = 4
+		perW    = 1_500
+	)
+	m := newReshardOrdered(t, h, HashPartition{}, false)
+	defer m.Release()
+	gen := keys.NewGenerator(keys.RandInt)
+
+	// Preload so the donor has something to copy.
+	for id := uint64(0); id < 2_000; id++ {
+		if err := m.Insert(gen.Key(id), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := keys.NewGenerator(keys.RandInt)
+			for i := 0; i < perW; i++ {
+				id := uint64(10_000 + w*perW + i)
+				if err := m.Insert(g.Key(id), id); err != nil {
+					t.Errorf("insert %d: %v", id, err)
+					return
+				}
+				if err := m.Update(g.Key(id), id+1); err != nil {
+					t.Errorf("update %d: %v", id, err)
+					return
+				}
+				// Overwrite a preloaded (possibly migrating) key too.
+				if err := m.Update(g.Key(id%2_000), id); err != nil {
+					t.Errorf("update hot %d: %v", id%2_000, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Migrate while the writers run: a few moves between distinct pairs.
+	for mv := 0; mv < 4; mv++ {
+		donor := mv % h
+		recipient := (mv + 1) % h
+		slots := m.SlotsOf(donor)
+		if len(slots) < 2 {
+			continue
+		}
+		if err := m.MigrateSlots(donor, recipient, slots[:len(slots)/4+1], 32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+
+	// Every writer-owned key must hold its final value.
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perW; i++ {
+			id := uint64(10_000 + w*perW + i)
+			v, ok, err := m.LookupChecked(gen.Key(id))
+			if err != nil || !ok || v != id+1 {
+				t.Fatalf("key %d: Lookup = %d, %v, %v; want %d", id, v, ok, err, id+1)
+			}
+		}
+	}
+	// Scan must be duplicate-free and exactly sized.
+	total := 2_000 + writers*perW
+	seen := 0
+	var prev []byte
+	m.Scan(nil, total+16, func(k []byte, v uint64) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order or duplicate after migration: %x", k)
+		}
+		prev = append(prev[:0], k...)
+		seen++
+		return true
+	})
+	if seen != total {
+		t.Fatalf("scan saw %d unique keys, want %d", seen, total)
+	}
+	checkStatsConserved(t, m.Stats(), m.ShardStats())
+}
+
+// TestMigrateCrashAtCopyAborts: a crash injected at reshard.copy.applied
+// (on the recipient) aborts the migration — the donor keeps ownership,
+// no acknowledged key is lost, and recovery replays only the recipient.
+func TestMigrateCrashAtCopyAborts(t *testing.T) {
+	const n, h = 2_000, 4
+	m := newReshardOrdered(t, h, HashPartition{}, true)
+	defer m.Release()
+	gen := keys.NewGenerator(keys.RandInt)
+	want := make(map[uint64]uint64, n)
+	for id := uint64(0); id < n; id++ {
+		if err := m.Insert(gen.Key(id), id); err != nil {
+			t.Fatal(err)
+		}
+		want[id] = id
+	}
+	m.Heap(1).SetInjector(crash.NewAtSite(SiteCopyApplied, 2))
+	slots := m.SlotsOf(0)
+	err := m.MigrateSlots(0, 1, slots[:len(slots)/2], 64)
+	if !crash.IsCrash(err) {
+		t.Fatalf("Migrate error = %v, want crash", err)
+	}
+	if got := m.SlotsOf(0); len(got) != len(slots) {
+		t.Fatalf("donor owns %d slots after aborted migration, want unchanged %d", len(got), len(slots))
+	}
+	if m.Resharding() && m.rt.Load().mig != nil {
+		t.Fatal("handoff window left open after abort")
+	}
+	m.PowerCycleShard(1, pmem.PolicyTorn, 42)
+	recovered, rerr := m.RecoverCrashed()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(recovered) != 1 || recovered[0] != 1 {
+		t.Fatalf("recovered %v, want [1]", recovered)
+	}
+	for i, c := range m.Recoveries() {
+		if want := uint64(0); i == 1 {
+			want = 1
+		} else if c != want {
+			t.Fatalf("shard %d replayed %d times, want %d (healthy shards must not replay)", i, c, want)
+		}
+	}
+	checkOrderedContent(t, m, gen, want)
+
+	// The aborted migration must be retryable to completion.
+	if err := m.MigrateSlots(0, 1, slots[:len(slots)/2], 64); err != nil {
+		t.Fatal(err)
+	}
+	checkOrderedContent(t, m, gen, want)
+}
+
+// TestMigrateCrashAtFlipStands: a crash injected at
+// reshard.flip.published (on the donor) leaves the flip in force — the
+// recipient owns the keys, the skipped residue sweep costs capacity
+// only, and recovery replays only the donor.
+func TestMigrateCrashAtFlipStands(t *testing.T) {
+	const n, h = 2_000, 4
+	m := newReshardOrdered(t, h, HashPartition{}, true)
+	defer m.Release()
+	gen := keys.NewGenerator(keys.RandInt)
+	want := make(map[uint64]uint64, n)
+	for id := uint64(0); id < n; id++ {
+		if err := m.Insert(gen.Key(id), id); err != nil {
+			t.Fatal(err)
+		}
+		want[id] = id
+	}
+	ver := m.TableVersion()
+
+	m.Heap(0).SetInjector(crash.NewAtSite(SiteFlipPublished, 1))
+	slots := m.SlotsOf(0)
+	moved := slots[:len(slots)/2]
+	err := m.MigrateSlots(0, 1, moved, 64)
+	if !crash.IsCrash(err) {
+		t.Fatalf("Migrate error = %v, want crash", err)
+	}
+	if got := m.TableVersion(); got <= ver {
+		t.Fatalf("table version %d after flip crash, want > %d (flip must stand)", got, ver)
+	}
+	for _, j := range moved {
+		for _, owned := range m.SlotsOf(0) {
+			if owned == j {
+				t.Fatalf("slot %d still owned by donor after published flip", j)
+			}
+		}
+	}
+	m.PowerCycleShard(0, pmem.PolicyTorn, 7)
+	recovered, rerr := m.RecoverCrashed()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(recovered) != 1 || recovered[0] != 0 {
+		t.Fatalf("recovered %v, want [0]", recovered)
+	}
+	// Donor residue survived (sweep skipped), so Len over-counts, but
+	// the deduplicating scan and routed lookups must both be exact.
+	checkOrderedContent(t, m, gen, want)
+	checkStatsConserved(t, m.Stats(), m.ShardStats())
+}
+
+// TestRebalanceImprovesSkew: drive a zipfian(0.99) read workload at a
+// hash-sharded front-end, then Rebalance; the measured per-shard load
+// imbalance projected by the flipped table must improve at least 2×
+// over the static hash assignment.
+func TestRebalanceImprovesSkew(t *testing.T) {
+	const (
+		n   = 4_096
+		h   = 8
+		ops = 200_000
+	)
+	m := newReshardOrdered(t, h, HashPartition{}, false)
+	defer m.Release()
+	gen := keys.NewGenerator(keys.RandInt)
+	for id := uint64(0); id < n; id++ {
+		if err := m.Insert(gen.Key(id), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sampler := ycsb.Zipfian{Theta: 0.99}.NewSampler(n, rand.New(rand.NewSource(1)))
+	for i := 0; i < ops; i++ {
+		m.Lookup(gen.Key(sampler.Next()))
+	}
+
+	rep, err := m.Rebalance(RebalanceOptions{Tolerance: 1.05, BatchSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Moves) == 0 {
+		t.Fatal("rebalancer made no moves on a zipfian-skewed table")
+	}
+	t.Logf("imbalance %.3f -> %.3f in %d moves", rep.Before, rep.After, len(rep.Moves))
+	if rep.Before < 1.3 {
+		t.Fatalf("zipfian load produced imbalance %.3f; workload not skewed enough to test", rep.Before)
+	}
+	if excess, residual := rep.Before-1, rep.After-1; residual > excess/2 {
+		t.Fatalf("rebalance improved excess imbalance only %.3f -> %.3f, want >= 2x", excess, residual)
+	}
+	// The moved keys must actually be served by their new shards.
+	if got := m.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	for id := uint64(0); id < n; id++ {
+		key := gen.Key(id)
+		if _, ok := m.Shard(m.Route(key)).Lookup(key); !ok {
+			t.Fatalf("key %d absent from its routed shard after rebalance", id)
+		}
+	}
+}
+
+// TestRebalanceRange: the range planner splits the hottest span and
+// moves measured load off the hot shard.
+func TestRebalanceRange(t *testing.T) {
+	const n, h = 4_096, 4
+	m := newReshardOrdered(t, h, RangePartition{}, false)
+	defer m.Release()
+	gen := keys.NewGenerator(keys.RandInt)
+	for id := uint64(0); id < n; id++ {
+		if err := m.Insert(gen.Key(id), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hammer keys that land in shard 0's span (top bits 00).
+	hot := 0
+	for id := uint64(0); hot < 50_000; id++ {
+		key := gen.Key(id % n)
+		if m.Route(key) == 0 {
+			m.Lookup(key)
+			hot++
+		}
+	}
+	rep, err := m.Rebalance(RebalanceOptions{MaxMoves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Moves) == 0 || !rep.Moves[0].Ranged || rep.Moves[0].Donor != 0 {
+		t.Fatalf("expected a range move off shard 0, got %+v", rep.Moves)
+	}
+	if rep.After >= rep.Before {
+		t.Fatalf("imbalance did not improve: %.3f -> %.3f", rep.Before, rep.After)
+	}
+	want := make(map[uint64]uint64, n)
+	for id := uint64(0); id < n; id++ {
+		want[id] = id
+	}
+	checkOrderedContent(t, m, gen, want)
+}
+
+// TestLoadReportEpochs: LoadReport returns per-epoch deltas that sum to
+// the cumulative op counts, and Imbalance reflects a skewed stream.
+func TestLoadReportEpochs(t *testing.T) {
+	const h = 4
+	m := newReshardOrdered(t, h, HashPartition{}, false)
+	defer m.Release()
+	gen := keys.NewGenerator(keys.RandInt)
+	for id := uint64(0); id < 1_000; id++ {
+		if err := m.Insert(gen.Key(id), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1 := m.LoadReport()
+	if r1.Epoch != 1 {
+		t.Fatalf("first epoch = %d, want 1", r1.Epoch)
+	}
+	if got := r1.TotalOps(); got != 1_000 {
+		t.Fatalf("epoch 1 ops = %d, want 1000", got)
+	}
+	// Second epoch: hammer one key; the delta must isolate it.
+	hotKey := gen.Key(3)
+	for i := 0; i < 5_000; i++ {
+		m.Lookup(hotKey)
+	}
+	r2 := m.LoadReport()
+	if r2.Epoch != 2 {
+		t.Fatalf("second epoch = %d, want 2", r2.Epoch)
+	}
+	if got := r2.TotalOps(); got != 5_000 {
+		t.Fatalf("epoch 2 ops = %d, want 5000 (delta, not cumulative)", got)
+	}
+	if r2.Imbalance() < float64(h)*0.99 {
+		t.Fatalf("single-key epoch imbalance = %.3f, want ~%d", r2.Imbalance(), h)
+	}
+	if r2.MaxShard() != m.Route(hotKey) {
+		t.Fatalf("MaxShard = %d, want hot shard %d", r2.MaxShard(), m.Route(hotKey))
+	}
+}
+
+// TestMigrateValidation: the migration entry points reject nonsense.
+func TestMigrateValidation(t *testing.T) {
+	m, err := NewOrdered("P-ART", keys.RandInt, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	if err := m.MigrateSlots(0, 1, []int{0}, 0); !errors.Is(err, ErrReshardingDisabled) {
+		t.Fatalf("migrate before enable = %v, want ErrReshardingDisabled", err)
+	}
+	if err := m.EnableResharding(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableResharding(); err != nil {
+		t.Fatalf("EnableResharding not idempotent: %v", err)
+	}
+	cases := []error{
+		m.MigrateSlots(0, 0, []int{0}, 0),       // donor == recipient
+		m.MigrateSlots(0, 9, []int{0}, 0),       // recipient out of range
+		m.MigrateSlots(0, 1, nil, 0),            // no slots
+		m.MigrateSlots(0, 1, []int{1}, 0),       // slot owned by shard 1
+		m.MigrateSlots(0, 1, []int{1 << 20}, 0), // slot out of range
+		m.MigrateRange(0, 1, 10, 20, 0),         // range op on slot table
+	}
+	for i, err := range cases {
+		if err == nil {
+			t.Fatalf("case %d: invalid migration accepted", i)
+		}
+	}
+
+	r, err := NewOrdered("P-ART", keys.RandInt, Options{Shards: 4, Partitioner: RangePartition{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Release()
+	if err := r.EnableResharding(); err != nil {
+		t.Fatal(err)
+	}
+	width := ^uint64(0)/4 + 1
+	if err := r.MigrateRange(0, 1, width/2, width+5, 0); err == nil {
+		t.Fatal("range crossing a foreign span accepted")
+	}
+	if err := r.MigrateRange(0, 1, 20, 10, 0); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if err := r.MigrateSlots(0, 1, []int{0}, 0); err == nil {
+		t.Fatal("slot op on range table accepted")
+	}
+}
+
+// TestRecoverCrashedParallel: crash several shards at once; the
+// parallel sweep recovers all of them, reports them in shard order, and
+// replays no healthy shard.
+func TestRecoverCrashedParallel(t *testing.T) {
+	const n, h = 3_000, 8
+	m, err := NewOrdered("P-ART", keys.RandInt, Options{Shards: h, Heap: pmem.Options{Shadow: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	gen := keys.NewGenerator(keys.RandInt)
+	committed := make(map[uint64]uint64, n)
+	for id := uint64(0); id < n; id++ {
+		if err := m.Insert(gen.Key(id), id); err != nil {
+			t.Fatal(err)
+		}
+		committed[id] = id
+	}
+	victims := []int{1, 4, 6}
+	for _, s := range victims {
+		m.Heap(s).SetInjector(crash.NewNth(5))
+	}
+	crashed := map[int]bool{}
+	for id := uint64(n); id < n+50_000 && len(crashed) < len(victims); id++ {
+		key := gen.Key(id)
+		s := m.Route(key)
+		if crashed[s] {
+			continue
+		}
+		err := m.Insert(key, id)
+		switch {
+		case crash.IsCrash(err):
+			crashed[s] = true
+		case err != nil:
+			t.Fatal(err)
+		default:
+			committed[id] = id
+		}
+	}
+	if len(crashed) != len(victims) {
+		t.Fatalf("crashed %v, want all of %v", crashed, victims)
+	}
+	for _, s := range victims {
+		m.PowerCycleShard(s, pmem.PolicyRevert, int64(s))
+	}
+	recovered, rerr := m.RecoverCrashed()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if fmt.Sprint(recovered) != fmt.Sprint(victims) {
+		t.Fatalf("recovered %v, want %v (deterministic shard order)", recovered, victims)
+	}
+	for i, c := range m.Recoveries() {
+		want := uint64(0)
+		for _, s := range victims {
+			if s == i {
+				want = 1
+			}
+		}
+		if c != want {
+			t.Fatalf("shard %d replayed %d times, want %d", i, c, want)
+		}
+	}
+	for id, v := range committed {
+		got, ok, err := m.LookupChecked(gen.Key(id))
+		if err != nil || !ok || got != v {
+			t.Fatalf("acknowledged key %d: %d, %v, %v; want %d", id, got, ok, err, v)
+		}
+	}
+}

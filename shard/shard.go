@@ -26,12 +26,15 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/keys"
 	"repro/internal/pmem"
+	"repro/internal/stripe"
 )
 
 // Options configures a sharded front-end.
@@ -101,17 +104,40 @@ type frontend[IX index] struct {
 	// health tracks per-shard availability; parallel to shards because
 	// its entries hold locks and must never be copied.
 	health []shardHealth
-	// batchMu serialises group commits per shard: a heap's fence-group
-	// mode is single-writer, so batch application holds the owning
-	// shard's mutex for the duration of its sub-batch (see batch.go).
-	// Parallel to shards; entries hold locks and must never be copied.
-	batchMu []sync.Mutex
+	// batchMu guards each shard's heap against its group-commit mode,
+	// which is single-writer against every other writer on the heap: a
+	// group commit (batch sub-batch, pre-routed ApplyShard, migration
+	// copy) holds the exclusive side for the duration of the commit,
+	// and point writes hold the shared side — concurrent with each
+	// other (the indexes are internally concurrent) but excluded from
+	// in-flight group commits. Parallel to shards; entries hold locks
+	// and must never be copied.
+	batchMu []sync.RWMutex
 	// now overrides the backoff clock in tests; nil selects time.Now.
 	now func() time.Time
 	// jitter holds the seeded source for retry-backoff jitter behind a
 	// pointer: it contains a mutex (retries of different shards may
 	// race), and the frontend value is copied during construction.
 	jitter *jitterSource
+
+	// rt is the published routing table: nil while the front-end is
+	// pristine (routing through the stateless Partitioner), then the
+	// current immutable table version (see table.go). Behind a pointer
+	// because atomic.Pointer must not be copied and the frontend value is
+	// copied during construction.
+	rt *atomic.Pointer[routeTable]
+	// gate is the RCU grace-period barrier: multi-shard operations hold a
+	// read stripe for their duration, and table transitions drain it
+	// after publishing so no operation still routes on a retired table.
+	gate *opGate
+	// opCount counts routed operations per shard (striped), feeding
+	// LoadReport. Parallel to shards.
+	opCount []*stripe.Counter
+	// load is the epoch bookkeeping behind LoadReport (holds a mutex).
+	load *loadState
+	// reshardMu serialises table transitions: EnableResharding,
+	// migrations and rebalances. Behind a pointer (mutex, copied value).
+	reshardMu *sync.Mutex
 }
 
 // jitterSource is the lazily seeded randomness behind retry-backoff
@@ -124,10 +150,15 @@ type jitterSource struct {
 // newFrontend builds one (heap, index) pair per shard.
 func newFrontend[IX index](factory func(*pmem.Heap) (IX, error), opts Options) (frontend[IX], error) {
 	f := frontend[IX]{
-		shards:  make([]shardOf[IX], opts.shards()),
-		health:  newHealth(opts.shards()),
-		batchMu: make([]sync.Mutex, opts.shards()),
-		jitter:  &jitterSource{},
+		shards:    make([]shardOf[IX], opts.shards()),
+		health:    newHealth(opts.shards()),
+		batchMu:   make([]sync.RWMutex, opts.shards()),
+		jitter:    &jitterSource{},
+		rt:        &atomic.Pointer[routeTable]{},
+		gate:      newOpGate(),
+		opCount:   newCounters(opts.shards()),
+		load:      &loadState{},
+		reshardMu: &sync.Mutex{},
 	}
 	if opts.RetrySeed != 0 {
 		f.jitter.rng = rand.New(rand.NewSource(opts.RetrySeed))
@@ -195,20 +226,56 @@ func (f *frontend[IX]) RecoverShard(i int) error {
 // continues: the healthy shards come back up, the joined error reports
 // the casualties. It must not be called concurrently with index
 // operations.
+//
+// Shards share nothing, so the fired shards are replayed concurrently
+// by a bounded worker pool (min of fired count, GOMAXPROCS, 8) —
+// restart cost is the largest fired shard, not their sum. The returned
+// indices and the joined error are in deterministic shard order
+// regardless of replay interleaving.
 func (f *frontend[IX]) RecoverCrashed() ([]int, error) {
-	var recovered []int
-	var errs []error
+	var fired []int
 	for i := range f.shards {
 		if inj := f.shards[i].heap.Injector(); inj.Fired() {
 			f.shards[i].heap.SetInjector(nil)
-			if err := f.RecoverShard(i); err != nil {
-				errs = append(errs, err)
-				continue
-			}
-			recovered = append(recovered, i)
+			fired = append(fired, i)
 		}
 	}
-	return recovered, errors.Join(errs...)
+	if len(fired) == 0 {
+		return nil, nil
+	}
+	errs := make([]error, len(fired))
+	if workers := min(len(fired), runtime.GOMAXPROCS(0), 8); workers == 1 {
+		for j, i := range fired {
+			errs[j] = f.RecoverShard(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= len(fired) {
+						return
+					}
+					errs[j] = f.RecoverShard(fired[j])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	var recovered []int
+	var failed []error
+	for j, i := range fired {
+		if errs[j] != nil {
+			failed = append(failed, errs[j])
+			continue
+		}
+		recovered = append(recovered, i)
+	}
+	return recovered, errors.Join(failed...)
 }
 
 // Recoveries returns per-shard recovery replay counts (how many times
@@ -243,6 +310,32 @@ func (f *frontend[IX]) Heap(i int) *pmem.Heap { return f.shards[i].heap }
 // Shard returns shard i's index, for direct per-partition access.
 func (f *frontend[IX]) Shard(i int) IX { return f.shards[i].idx }
 
+// writeLock takes the shared side of shard s's group-commit lock: a
+// point write may run concurrently with other point writes but not
+// with a group commit on the same heap (see batchMu).
+func (f *frontend[IX]) writeLock(s int) { f.batchMu[s].RLock() }
+
+// writeUnlock releases writeLock.
+func (f *frontend[IX]) writeUnlock(s int) { f.batchMu[s].RUnlock() }
+
+// writeLock2 takes the shared group-commit locks of two shards in
+// index order — the consistent order keeps lock-ordering acyclic when
+// a double-applied write spans the handoff window's donor and
+// recipient.
+func (f *frontend[IX]) writeLock2(a, b int) {
+	if b < a {
+		a, b = b, a
+	}
+	f.batchMu[a].RLock()
+	f.batchMu[b].RLock()
+}
+
+// writeUnlock2 releases writeLock2.
+func (f *frontend[IX]) writeUnlock2(a, b int) {
+	f.batchMu[a].RUnlock()
+	f.batchMu[b].RUnlock()
+}
+
 // ShardStats returns one counter snapshot per shard, in shard order.
 func (f *frontend[IX]) ShardStats() []pmem.Stats {
 	out := make([]pmem.Stats, len(f.shards))
@@ -265,6 +358,10 @@ func (f *frontend[IX]) Stats() pmem.Stats { return sumStats(f.ShardStats()) }
 type Ordered struct {
 	part  Partitioner
 	batch int // per-shard streaming scan batch size (Options.ScanBatch)
+	// mapper is part's point reduction, set (before the first table is
+	// published) by EnableResharding; it is only read after observing a
+	// non-nil routing table, so the atomic table publish orders it.
+	mapper PointMapper
 	frontend[core.OrderedIndex]
 }
 
@@ -291,35 +388,134 @@ func NewOrderedWith(factory func(*pmem.Heap) (core.OrderedIndex, error), opts Op
 	return &Ordered{part: part, batch: opts.scanBatch(), frontend: f}, nil
 }
 
-// route returns the shard owning key. With one shard no routing is
-// needed, so the H=1 front-end adds no hashing to the operation path.
+// route returns the shard owning key, bumping the load counters. With
+// one shard no routing is needed, so the H=1 front-end adds no hashing
+// to the operation path; once a routing table is published it replaces
+// the stateless partitioner as the routing authority.
 func (m *Ordered) route(key []byte) int {
 	if len(m.shards) == 1 {
+		m.opCount[0].Add(1)
 		return 0
 	}
-	return m.part.Shard(key, len(m.shards))
+	if t := m.rt.Load(); t != nil {
+		s, _ := m.locateKey(t, key)
+		return s
+	}
+	i := m.part.Shard(key, len(m.shards))
+	m.opCount[i].Add(1)
+	return i
+}
+
+// locateKey routes key through table t, bumping per-shard and per-slot
+// load counters, and returns the owning shard plus the key's ring point
+// (for handoff-window checks).
+func (m *Ordered) locateKey(t *routeTable, key []byte) (shard int, point uint64) {
+	p := m.mapper.Point(key)
+	s, slot := t.locate(p)
+	t.ops[slot].Add(1)
+	m.opCount[s].Add(1)
+	return s, p
 }
 
 // Insert stores value under key in the owning shard. If the owning
 // shard is quarantined it returns *ShardUnavailableError
 // (errors.Is(err, ErrShardUnavailable)); other shards keep serving.
+// While key sits inside an open migration window the write
+// double-applies: the donor stays authoritative (its result is
+// returned), and the recipient receives a shadow copy so the migration
+// stream cannot miss it.
 func (m *Ordered) Insert(key []byte, value uint64) error {
-	i := m.route(key)
-	if err := m.unavailable(i); err != nil {
+	if len(m.shards) == 1 {
+		m.opCount[0].Add(1)
+		if err := m.unavailable(0); err != nil {
+			return err
+		}
+		m.writeLock(0)
+		defer m.writeUnlock(0)
+		return m.shards[0].idx.Insert(key, value)
+	}
+	g := m.gate.enter()
+	defer m.gate.exit(g)
+	t := m.rt.Load()
+	if t == nil {
+		i := m.part.Shard(key, len(m.shards))
+		m.opCount[i].Add(1)
+		if err := m.unavailable(i); err != nil {
+			return err
+		}
+		m.writeLock(i)
+		defer m.writeUnlock(i)
+		return m.shards[i].idx.Insert(key, value)
+	}
+	s, p := m.locateKey(t, key)
+	if err := m.unavailable(s); err != nil {
 		return err
 	}
-	return m.shards[i].idx.Insert(key, value)
+	if mg := t.mig; mg != nil && s == mg.donor && mg.covers(p, t) {
+		mg.mu.RLock()
+		defer mg.mu.RUnlock()
+		m.writeLock2(s, mg.recipient)
+		defer m.writeUnlock2(s, mg.recipient)
+		if err := m.shards[s].idx.Insert(key, value); err != nil {
+			return err
+		}
+		if err := m.shards[mg.recipient].idx.Insert(key, value); err != nil {
+			mg.failed.Store(true) // recipient incomplete: migration must abort
+		}
+		return nil
+	}
+	m.writeLock(s)
+	defer m.writeUnlock(s)
+	return m.shards[s].idx.Insert(key, value)
 }
 
 // Update overwrites the value under key in place in the owning shard
 // (the index's upsert path; see core.OrderedIndex.Update). Quarantined
-// shards return *ShardUnavailableError.
+// shards return *ShardUnavailableError. Updates double-apply inside an
+// open migration window, like Insert.
 func (m *Ordered) Update(key []byte, value uint64) error {
-	i := m.route(key)
-	if err := m.unavailable(i); err != nil {
+	if len(m.shards) == 1 {
+		m.opCount[0].Add(1)
+		if err := m.unavailable(0); err != nil {
+			return err
+		}
+		m.writeLock(0)
+		defer m.writeUnlock(0)
+		return m.shards[0].idx.Update(key, value)
+	}
+	g := m.gate.enter()
+	defer m.gate.exit(g)
+	t := m.rt.Load()
+	if t == nil {
+		i := m.part.Shard(key, len(m.shards))
+		m.opCount[i].Add(1)
+		if err := m.unavailable(i); err != nil {
+			return err
+		}
+		m.writeLock(i)
+		defer m.writeUnlock(i)
+		return m.shards[i].idx.Update(key, value)
+	}
+	s, p := m.locateKey(t, key)
+	if err := m.unavailable(s); err != nil {
 		return err
 	}
-	return m.shards[i].idx.Update(key, value)
+	if mg := t.mig; mg != nil && s == mg.donor && mg.covers(p, t) {
+		mg.mu.RLock()
+		defer mg.mu.RUnlock()
+		m.writeLock2(s, mg.recipient)
+		defer m.writeUnlock2(s, mg.recipient)
+		if err := m.shards[s].idx.Update(key, value); err != nil {
+			return err
+		}
+		if err := m.shards[mg.recipient].idx.Update(key, value); err != nil {
+			mg.failed.Store(true)
+		}
+		return nil
+	}
+	m.writeLock(s)
+	defer m.writeUnlock(s)
+	return m.shards[s].idx.Update(key, value)
 }
 
 // Lookup returns the value stored under key. The core interface has no
@@ -335,24 +531,80 @@ func (m *Ordered) Lookup(key []byte) (uint64, bool) {
 
 // LookupChecked is Lookup with quarantine visibility: err is
 // *ShardUnavailableError when the owning shard is quarantined, in which
-// case the key's presence is unknown.
+// case the key's presence is unknown. During a migration the donor
+// stays the read authority until the table flips.
 func (m *Ordered) LookupChecked(key []byte) (uint64, bool, error) {
-	i := m.route(key)
-	if err := m.unavailable(i); err != nil {
+	if len(m.shards) == 1 {
+		m.opCount[0].Add(1)
+		if err := m.unavailable(0); err != nil {
+			return 0, false, err
+		}
+		v, ok := m.shards[0].idx.Lookup(key)
+		return v, ok, nil
+	}
+	g := m.gate.enter()
+	defer m.gate.exit(g)
+	var s int
+	if t := m.rt.Load(); t != nil {
+		s, _ = m.locateKey(t, key)
+	} else {
+		s = m.part.Shard(key, len(m.shards))
+		m.opCount[s].Add(1)
+	}
+	if err := m.unavailable(s); err != nil {
 		return 0, false, err
 	}
-	v, ok := m.shards[i].idx.Lookup(key)
+	v, ok := m.shards[s].idx.Lookup(key)
 	return v, ok, nil
 }
 
 // Delete removes key from the owning shard. Quarantined shards return
-// *ShardUnavailableError.
+// *ShardUnavailableError. Deletes double-apply inside an open migration
+// window, like Insert.
 func (m *Ordered) Delete(key []byte) (bool, error) {
-	i := m.route(key)
-	if err := m.unavailable(i); err != nil {
+	if len(m.shards) == 1 {
+		m.opCount[0].Add(1)
+		if err := m.unavailable(0); err != nil {
+			return false, err
+		}
+		m.writeLock(0)
+		defer m.writeUnlock(0)
+		return m.shards[0].idx.Delete(key)
+	}
+	g := m.gate.enter()
+	defer m.gate.exit(g)
+	t := m.rt.Load()
+	if t == nil {
+		i := m.part.Shard(key, len(m.shards))
+		m.opCount[i].Add(1)
+		if err := m.unavailable(i); err != nil {
+			return false, err
+		}
+		m.writeLock(i)
+		defer m.writeUnlock(i)
+		return m.shards[i].idx.Delete(key)
+	}
+	s, p := m.locateKey(t, key)
+	if err := m.unavailable(s); err != nil {
 		return false, err
 	}
-	return m.shards[i].idx.Delete(key)
+	if mg := t.mig; mg != nil && s == mg.donor && mg.covers(p, t) {
+		mg.mu.RLock()
+		defer mg.mu.RUnlock()
+		m.writeLock2(s, mg.recipient)
+		defer m.writeUnlock2(s, mg.recipient)
+		ok, err := m.shards[s].idx.Delete(key)
+		if err != nil {
+			return ok, err
+		}
+		if _, err := m.shards[mg.recipient].idx.Delete(key); err != nil {
+			mg.failed.Store(true)
+		}
+		return ok, nil
+	}
+	m.writeLock(s)
+	defer m.writeUnlock(s)
+	return m.shards[s].idx.Delete(key)
 }
 
 // Scan visits keys >= start in ascending order across all shards until
@@ -378,10 +630,20 @@ func (m *Ordered) Scan(start []byte, count int, fn func(key []byte, value uint64
 		}
 		return m.shards[0].idx.Scan(start, count, fn)
 	}
-	if orderPreserving(m.part) {
+	if orderPreserving(m.part) && m.tablePristine() {
 		return m.scanSequential(start, count, fn)
 	}
 	return m.scanMerge(start, count, fn)
+}
+
+// tablePristine reports whether routing is still exactly the legacy
+// partitioner mapping: no table, or a table that never moved a slot and
+// has no open migration window. Order-preserving fast paths are only
+// sound in this state — after a range migration, span ownership is no
+// longer monotonic in key order.
+func (m *Ordered) tablePristine() bool {
+	t := m.rt.Load()
+	return t == nil || (t.version == 0 && t.mig == nil)
 }
 
 // scanSequential is the order-preserving fast path: shard i's keys all
@@ -447,6 +709,9 @@ func (m *Ordered) PartitionerName() string { return m.part.Name() }
 // Hash is a sharded unordered index: core.HashIndex over H partitions.
 type Hash struct {
 	part Partitioner64
+	// mapper64 is part's point reduction, set by EnableResharding before
+	// the first table publish (see Ordered.mapper).
+	mapper64 PointMapper64
 	frontend[core.HashIndex]
 }
 
@@ -471,31 +736,126 @@ func NewHashWith(factory func(*pmem.Heap) (core.HashIndex, error), opts Options)
 	return &Hash{part: part, frontend: f}, nil
 }
 
+// route returns the shard owning key, bumping the load counters; see
+// Ordered.route.
 func (m *Hash) route(key uint64) int {
 	if len(m.shards) == 1 {
+		m.opCount[0].Add(1)
 		return 0
 	}
-	return m.part.Shard(key, len(m.shards))
+	if t := m.rt.Load(); t != nil {
+		s, _ := m.locateKey(t, key)
+		return s
+	}
+	i := m.part.Shard(key, len(m.shards))
+	m.opCount[i].Add(1)
+	return i
+}
+
+// locateKey routes key through table t, bumping load counters; see
+// Ordered.locateKey.
+func (m *Hash) locateKey(t *routeTable, key uint64) (shard int, point uint64) {
+	p := m.mapper64.Point(key)
+	s, slot := t.locate(p)
+	t.ops[slot].Add(1)
+	m.opCount[s].Add(1)
+	return s, p
 }
 
 // Insert stores value under key in the owning shard. Quarantined shards
-// return *ShardUnavailableError; other shards keep serving.
+// return *ShardUnavailableError; other shards keep serving. Writes
+// inside an open migration window double-apply (see Ordered.Insert).
 func (m *Hash) Insert(key, value uint64) error {
-	i := m.route(key)
-	if err := m.unavailable(i); err != nil {
+	if len(m.shards) == 1 {
+		m.opCount[0].Add(1)
+		if err := m.unavailable(0); err != nil {
+			return err
+		}
+		m.writeLock(0)
+		defer m.writeUnlock(0)
+		return m.shards[0].idx.Insert(key, value)
+	}
+	g := m.gate.enter()
+	defer m.gate.exit(g)
+	t := m.rt.Load()
+	if t == nil {
+		i := m.part.Shard(key, len(m.shards))
+		m.opCount[i].Add(1)
+		if err := m.unavailable(i); err != nil {
+			return err
+		}
+		m.writeLock(i)
+		defer m.writeUnlock(i)
+		return m.shards[i].idx.Insert(key, value)
+	}
+	s, p := m.locateKey(t, key)
+	if err := m.unavailable(s); err != nil {
 		return err
 	}
-	return m.shards[i].idx.Insert(key, value)
+	if mg := t.mig; mg != nil && s == mg.donor && mg.covers(p, t) {
+		mg.mu.RLock()
+		defer mg.mu.RUnlock()
+		m.writeLock2(s, mg.recipient)
+		defer m.writeUnlock2(s, mg.recipient)
+		if err := m.shards[s].idx.Insert(key, value); err != nil {
+			return err
+		}
+		if err := m.shards[mg.recipient].idx.Insert(key, value); err != nil {
+			mg.failed.Store(true)
+		}
+		return nil
+	}
+	m.writeLock(s)
+	defer m.writeUnlock(s)
+	return m.shards[s].idx.Insert(key, value)
 }
 
 // Update overwrites the value under key in place in the owning shard.
-// Quarantined shards return *ShardUnavailableError.
+// Quarantined shards return *ShardUnavailableError. Updates inside an
+// open migration window double-apply.
 func (m *Hash) Update(key, value uint64) error {
-	i := m.route(key)
-	if err := m.unavailable(i); err != nil {
+	if len(m.shards) == 1 {
+		m.opCount[0].Add(1)
+		if err := m.unavailable(0); err != nil {
+			return err
+		}
+		m.writeLock(0)
+		defer m.writeUnlock(0)
+		return m.shards[0].idx.Update(key, value)
+	}
+	g := m.gate.enter()
+	defer m.gate.exit(g)
+	t := m.rt.Load()
+	if t == nil {
+		i := m.part.Shard(key, len(m.shards))
+		m.opCount[i].Add(1)
+		if err := m.unavailable(i); err != nil {
+			return err
+		}
+		m.writeLock(i)
+		defer m.writeUnlock(i)
+		return m.shards[i].idx.Update(key, value)
+	}
+	s, p := m.locateKey(t, key)
+	if err := m.unavailable(s); err != nil {
 		return err
 	}
-	return m.shards[i].idx.Update(key, value)
+	if mg := t.mig; mg != nil && s == mg.donor && mg.covers(p, t) {
+		mg.mu.RLock()
+		defer mg.mu.RUnlock()
+		m.writeLock2(s, mg.recipient)
+		defer m.writeUnlock2(s, mg.recipient)
+		if err := m.shards[s].idx.Update(key, value); err != nil {
+			return err
+		}
+		if err := m.shards[mg.recipient].idx.Update(key, value); err != nil {
+			mg.failed.Store(true)
+		}
+		return nil
+	}
+	m.writeLock(s)
+	defer m.writeUnlock(s)
+	return m.shards[s].idx.Update(key, value)
 }
 
 // Lookup returns the value stored under key. A key owned by a
@@ -509,24 +869,80 @@ func (m *Hash) Lookup(key uint64) (uint64, bool) {
 }
 
 // LookupChecked is Lookup with quarantine visibility: err is
-// *ShardUnavailableError when the owning shard is quarantined.
+// *ShardUnavailableError when the owning shard is quarantined. During a
+// migration the donor stays the read authority until the table flips.
 func (m *Hash) LookupChecked(key uint64) (uint64, bool, error) {
-	i := m.route(key)
-	if err := m.unavailable(i); err != nil {
+	if len(m.shards) == 1 {
+		m.opCount[0].Add(1)
+		if err := m.unavailable(0); err != nil {
+			return 0, false, err
+		}
+		v, ok := m.shards[0].idx.Lookup(key)
+		return v, ok, nil
+	}
+	g := m.gate.enter()
+	defer m.gate.exit(g)
+	var s int
+	if t := m.rt.Load(); t != nil {
+		s, _ = m.locateKey(t, key)
+	} else {
+		s = m.part.Shard(key, len(m.shards))
+		m.opCount[s].Add(1)
+	}
+	if err := m.unavailable(s); err != nil {
 		return 0, false, err
 	}
-	v, ok := m.shards[i].idx.Lookup(key)
+	v, ok := m.shards[s].idx.Lookup(key)
 	return v, ok, nil
 }
 
 // Delete removes key from the owning shard. Quarantined shards return
-// *ShardUnavailableError.
+// *ShardUnavailableError. Deletes inside an open migration window
+// double-apply.
 func (m *Hash) Delete(key uint64) (bool, error) {
-	i := m.route(key)
-	if err := m.unavailable(i); err != nil {
+	if len(m.shards) == 1 {
+		m.opCount[0].Add(1)
+		if err := m.unavailable(0); err != nil {
+			return false, err
+		}
+		m.writeLock(0)
+		defer m.writeUnlock(0)
+		return m.shards[0].idx.Delete(key)
+	}
+	g := m.gate.enter()
+	defer m.gate.exit(g)
+	t := m.rt.Load()
+	if t == nil {
+		i := m.part.Shard(key, len(m.shards))
+		m.opCount[i].Add(1)
+		if err := m.unavailable(i); err != nil {
+			return false, err
+		}
+		m.writeLock(i)
+		defer m.writeUnlock(i)
+		return m.shards[i].idx.Delete(key)
+	}
+	s, p := m.locateKey(t, key)
+	if err := m.unavailable(s); err != nil {
 		return false, err
 	}
-	return m.shards[i].idx.Delete(key)
+	if mg := t.mig; mg != nil && s == mg.donor && mg.covers(p, t) {
+		mg.mu.RLock()
+		defer mg.mu.RUnlock()
+		m.writeLock2(s, mg.recipient)
+		defer m.writeUnlock2(s, mg.recipient)
+		ok, err := m.shards[s].idx.Delete(key)
+		if err != nil {
+			return ok, err
+		}
+		if _, err := m.shards[mg.recipient].idx.Delete(key); err != nil {
+			mg.failed.Store(true)
+		}
+		return ok, nil
+	}
+	m.writeLock(s)
+	defer m.writeUnlock(s)
+	return m.shards[s].idx.Delete(key)
 }
 
 // PartitionerName reports the routing policy in use.
