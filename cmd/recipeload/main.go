@@ -1,0 +1,75 @@
+// Command recipeload drives a recipesrv endpoint with open-loop
+// traffic: Poisson arrivals at a target aggregate QPS, a configurable
+// op mix, and YCSB key distributions — then reports achieved QPS and
+// error counts per op kind.
+//
+// Usage:
+//
+//	go run ./cmd/recipeload -addr 127.0.0.1:6399 -qps 2000 -duration 2s -load 10000
+//	go run ./cmd/recipeload -dist zipfian -theta 0.99 -read 0.5 -insert 0.25 -update 0.25
+//
+// Exit status is non-zero when the run saw protocol errors or a reply
+// deficit (requests accepted but never answered) — the CI smoke relies
+// on this to prove clean drain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/ycsb"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:6399", "server address")
+		conns    = flag.Int("conns", 4, "client connections")
+		qps      = flag.Float64("qps", 2000, "target aggregate arrival rate")
+		duration = flag.Duration("duration", 2*time.Second, "open-loop window")
+		loadN    = flag.Int("load", 10_000, "keys preloaded before the window")
+		dist     = flag.String("dist", "uniform", `key distribution: "uniform", "zipfian" or "latest"`)
+		theta    = flag.Float64("theta", 0.99, "zipfian/latest skew")
+		readF    = flag.Float64("read", 0, "read fraction (all-zero mix = 90/5/5 read/insert/update)")
+		insertF  = flag.Float64("insert", 0, "insert fraction")
+		updateF  = flag.Float64("update", 0, "update fraction")
+		scanF    = flag.Float64("scan", 0, "scan fraction")
+		deleteF  = flag.Float64("delete", 0, "delete fraction")
+		scanLen  = flag.Int("scanlen", 16, "SCAN page size")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		strict   = flag.Bool("strict", true, "exit non-zero on protocol errors, reply deficit, or any error replies")
+	)
+	flag.Parse()
+
+	d, err := ycsb.DistributionByName(*dist, *theta)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recipeload: %v\n", err)
+		os.Exit(1)
+	}
+	rep, err := loadgen.Run(loadgen.Options{
+		Addr:       *addr,
+		Conns:      *conns,
+		QPS:        *qps,
+		Duration:   *duration,
+		LoadN:      *loadN,
+		Dist:       d,
+		Seed:       *seed,
+		ReadFrac:   *readF,
+		InsertFrac: *insertF,
+		UpdateFrac: *updateF,
+		ScanFrac:   *scanF,
+		DeleteFrac: *deleteF,
+		ScanLen:    *scanLen,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recipeload: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.String())
+	if *strict && (rep.ProtoErrors > 0 || rep.Deficit() > 0 || rep.TotalErrors() > 0 || rep.PreloadErrors > 0) {
+		fmt.Fprintln(os.Stderr, "recipeload: run saw errors (see report)")
+		os.Exit(1)
+	}
+}

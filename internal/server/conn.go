@@ -1,0 +1,524 @@
+// Per-connection protocol loop. The invariant every write path shares:
+// a reply reaches the socket only after the write it acknowledges is
+// fenced. The loop stages replies in arrival order — literals for
+// commands resolved immediately, placeholders for writes whose fence
+// is pending — and a settle step (commit staged writes, resolve
+// placeholders) always runs before the staged bytes are flushed to the
+// wire. Reads settle first too, so a connection always reads its own
+// writes regardless of mode.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"strconv"
+	"time"
+
+	"repro/internal/commit"
+	"repro/internal/crash"
+	"repro/shard"
+)
+
+// conn is one client connection's state.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+
+	lit     []byte         // arena of resolved reply bytes
+	replies []pendingReply // in-order staged replies
+	nw      int            // writes staged since the last settle
+	def     *shard.Deferred
+	futs    []*commit.Future
+	werrs   []error // settle scratch: per staged write outcome
+
+	scanBuf  []byte // SCAN scratch: collected keys
+	scanEnds []int
+	scanVals []uint64
+}
+
+// pendingReply is one reply slot: a resolved [off,end) region of the
+// lit arena, or (w >= 0) a placeholder for staged write #w.
+type pendingReply struct {
+	off, end int
+	w        int
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	c := &conn{
+		srv: s,
+		nc:  nc,
+		br:  bufio.NewReader(nc),
+		bw:  bufio.NewWriter(nc),
+	}
+	if s.opts.Mode == ModeBatched {
+		// The settle step flushes before the queue reaches the limit, so
+		// the combiner's own auto-flush never fires and queue positions
+		// stay aligned with staged-write indices.
+		c.def = shard.NewDeferred(s.m, s.opts.batch()+1)
+	}
+	return c
+}
+
+// kick expires the connection's read deadline so a blocked (and any
+// future) socket read fails with a timeout — the drain signal. Bytes
+// already buffered still parse; new bytes do not arrive.
+func (c *conn) kick() { c.nc.SetReadDeadline(time.Unix(1, 0)) }
+
+// serve runs the connection to completion. An injected crash signal
+// escaping a synchronous index operation is the simulated machine
+// dying mid-op: the server fails as a whole and the connection drops
+// with its staged replies unsent (unacknowledged).
+func (c *conn) serve() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(crash.Signal); ok {
+				c.srv.fail(crash.ErrCrashed)
+				c.nc.Close()
+				return
+			}
+			panic(r)
+		}
+	}()
+	defer c.nc.Close()
+	for {
+		fr, err := ParseCommand(c.br)
+		if err != nil {
+			c.finish(err)
+			return
+		}
+		quit, aerr := c.dispatch(fr)
+		if aerr != nil {
+			return // machine crash during settle; srv.fail already ran
+		}
+		if quit {
+			if c.settleWrites() == nil {
+				c.flushWire()
+			}
+			return
+		}
+		if c.br.Buffered() == 0 || len(c.replies) >= c.srv.opts.maxPipeline() {
+			if c.settleWrites() != nil {
+				return
+			}
+			if c.flushWire() != nil {
+				return
+			}
+			if c.srv.draining.Load() {
+				return // drained: accepted writes settled, replies sent
+			}
+		}
+	}
+}
+
+// finish handles the read-side end of a connection: settle accepted
+// writes (fencing them), send what can still be sent, close.
+func (c *conn) finish(err error) {
+	var pe *ProtocolError
+	switch {
+	case errors.As(err, &pe):
+		// Framing is unrecoverable: settle, reply with the typed
+		// protocol error, close.
+		if c.settleWrites() != nil {
+			return
+		}
+		c.litError("ERR proto/" + pe.Kind + " " + pe.Detail)
+		c.flushWire()
+	case isTimeout(err), errors.Is(err, io.EOF):
+		// Drain kick, or the client half-closed its write side: settle
+		// and deliver every staged reply before closing.
+		if c.settleWrites() != nil {
+			return
+		}
+		c.flushWire()
+	default:
+		// Torn connection (reset, unexpected EOF): fence what was
+		// accepted; no replies can be delivered.
+		c.settleWrites()
+	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// Reply staging helpers: append one encoded reply to the arena and
+// record its region.
+
+func (c *conn) record(off int) {
+	c.replies = append(c.replies, pendingReply{off: off, end: len(c.lit), w: -1})
+}
+
+func (c *conn) litSimple(s string) {
+	off := len(c.lit)
+	c.lit = appendSimple(c.lit, s)
+	c.record(off)
+}
+
+func (c *conn) litError(msg string) {
+	off := len(c.lit)
+	c.lit = appendErrorReply(c.lit, msg)
+	c.record(off)
+}
+
+func (c *conn) litInt(n int64) {
+	off := len(c.lit)
+	c.lit = appendInt(c.lit, n)
+	c.record(off)
+}
+
+func (c *conn) litBulk(b []byte) {
+	off := len(c.lit)
+	c.lit = appendBulk(c.lit, b)
+	c.record(off)
+}
+
+func (c *conn) litNull() {
+	off := len(c.lit)
+	c.lit = appendNullBulk(c.lit)
+	c.record(off)
+}
+
+// placeholder stages the reply slot for the next staged write.
+func (c *conn) placeholder() {
+	c.replies = append(c.replies, pendingReply{w: c.nw})
+	c.nw++
+}
+
+// settleWrites commits every staged write and resolves its placeholder
+// reply: +OK for a fenced write, a typed error otherwise. A non-nil
+// return means the machine died (injected crash) — the server has
+// failed and the connection must drop without flushing.
+func (c *conn) settleWrites() error {
+	if c.nw == 0 {
+		return nil
+	}
+	werrs := c.werrs[:0]
+	for i := 0; i < c.nw; i++ {
+		werrs = append(werrs, nil)
+	}
+	switch c.srv.opts.Mode {
+	case ModeBatched:
+		if err := c.def.Flush(); err != nil {
+			if isMachineCrash(err) {
+				c.srv.fail(err)
+				return err
+			}
+			var be *shard.BatchError
+			if errors.As(err, &be) {
+				for i := range be.Failed {
+					sub := &be.Failed[i]
+					// The applied prefix of a failed sub-batch was fenced
+					// by the group layer before it returned — those writes
+					// are durable and ack +OK; the rest carry the cause.
+					for j := sub.Applied; j < len(sub.OpIndices); j++ {
+						werrs[sub.OpIndices[j]] = sub.Err
+					}
+				}
+			} else {
+				for i := range werrs {
+					werrs[i] = err
+				}
+			}
+		}
+	case ModeAsync:
+		for i, f := range c.futs {
+			e := f.Wait()
+			if isMachineCrash(e) {
+				c.srv.fail(e)
+				return e
+			}
+			werrs[i] = e
+		}
+		c.futs = c.futs[:0]
+	}
+	for i := range c.replies {
+		p := &c.replies[i]
+		if p.w < 0 {
+			continue
+		}
+		off := len(c.lit)
+		if e := werrs[p.w]; e != nil {
+			c.lit = appendErrorReply(c.lit, errorText(e))
+		} else {
+			c.lit = appendSimple(c.lit, "OK")
+		}
+		p.off, p.end, p.w = off, len(c.lit), -1
+	}
+	c.nw = 0
+	c.werrs = werrs[:0]
+	return nil
+}
+
+// flushWire writes every settled reply to the socket in order and
+// flushes. All placeholders must have been settled.
+func (c *conn) flushWire() error {
+	for _, p := range c.replies {
+		if _, err := c.bw.Write(c.lit[p.off:p.end]); err != nil {
+			return err
+		}
+	}
+	c.replies = c.replies[:0]
+	c.lit = c.lit[:0]
+	return c.bw.Flush()
+}
+
+// errorText maps a store/pipeline error to its typed wire code.
+func errorText(err error) string {
+	switch {
+	case errors.Is(err, shard.ErrShardUnavailable):
+		return "UNAVAIL " + err.Error()
+	case errors.Is(err, commit.ErrClosed):
+		return "SHUTDOWN " + err.Error()
+	case errors.Is(err, commit.ErrQueueFull):
+		return "BUSY " + err.Error()
+	default:
+		return "ERR " + err.Error()
+	}
+}
+
+// cmdName folds an ASCII command to upper case without allocating;
+// unknown or over-long names return "".
+func cmdName(b []byte) string {
+	if len(b) > 6 {
+		return ""
+	}
+	var buf [6]byte
+	for i := 0; i < len(b); i++ {
+		ch := b[i]
+		if 'a' <= ch && ch <= 'z' {
+			ch -= 'a' - 'A'
+		}
+		buf[i] = ch
+	}
+	switch string(buf[:len(b)]) {
+	case "GET":
+		return "GET"
+	case "SET":
+		return "SET"
+	case "DEL":
+		return "DEL"
+	case "UPDATE":
+		return "UPDATE"
+	case "SCAN":
+		return "SCAN"
+	case "INFO":
+		return "INFO"
+	case "STATS":
+		return "STATS"
+	case "PING":
+		return "PING"
+	case "QUIT":
+		return "QUIT"
+	}
+	return ""
+}
+
+// dispatch executes one parsed command. quit requests connection
+// close after the final flush; a non-nil error aborts the connection
+// (machine crash during a settle).
+func (c *conn) dispatch(fr Frame) (quit bool, _ error) {
+	args := fr.Args
+	cmd := cmdName(args[0])
+	switch cmd {
+	case "PING":
+		c.litSimple("PONG")
+		return false, nil
+	case "QUIT":
+		c.litSimple("OK")
+		return true, nil
+	case "INFO":
+		c.litBulk(c.srv.infoText())
+		return false, nil
+	case "STATS":
+		c.litBulk(c.srv.statsText())
+		return false, nil
+	case "":
+		c.litError("ERR unknown command " + strconv.Quote(string(args[0])))
+		return false, nil
+	}
+	// Data commands: refused while draining — enqueue-after-drain gets
+	// the typed shutdown error, nothing new enters the write paths.
+	if c.srv.draining.Load() {
+		c.litError("SHUTDOWN server draining")
+		return false, nil
+	}
+	m := c.srv.m
+	switch cmd {
+	case "GET":
+		if len(args) != 2 {
+			c.litError("ERR wrong number of arguments for 'GET'")
+			return false, nil
+		}
+		if err := c.settleWrites(); err != nil {
+			return false, err
+		}
+		v, ok, err := m.LookupChecked(args[1])
+		switch {
+		case isMachineCrash(err):
+			c.srv.fail(err)
+			return false, err
+		case err != nil:
+			c.litError(errorText(err))
+		case ok:
+			c.litInt(int64(v))
+		default:
+			c.litNull()
+		}
+	case "SET", "UPDATE":
+		if len(args) != 3 {
+			c.litError("ERR wrong number of arguments for '" + cmd + "'")
+			return false, nil
+		}
+		v, perr := strconv.ParseUint(string(args[2]), 10, 64)
+		if perr != nil {
+			c.litError("ERR value is not a uint64")
+			return false, nil
+		}
+		return false, c.stageWrite(args[1], v, cmd == "UPDATE")
+	case "DEL":
+		if len(args) != 2 {
+			c.litError("ERR wrong number of arguments for 'DEL'")
+			return false, nil
+		}
+		// Deletes have no batched/async op shape, so they settle what
+		// precedes them (preserving order) and apply synchronously.
+		if err := c.settleWrites(); err != nil {
+			return false, err
+		}
+		ok, err := m.Delete(args[1])
+		if isMachineCrash(err) {
+			c.srv.fail(err)
+			return false, err
+		}
+		if err != nil {
+			c.litError(errorText(err))
+		} else if ok {
+			c.litInt(1)
+		} else {
+			c.litInt(0)
+		}
+	case "SCAN":
+		return false, c.scan(args)
+	}
+	return false, nil
+}
+
+// stageWrite routes one SET/UPDATE through the configured write path.
+func (c *conn) stageWrite(key []byte, value uint64, update bool) error {
+	m := c.srv.m
+	switch c.srv.opts.Mode {
+	case ModeSync:
+		var err error
+		if update {
+			err = m.Update(key, value)
+		} else {
+			err = m.Insert(key, value)
+		}
+		if err != nil {
+			// The indexes convert an injected crash panic into an error
+			// (crash.Recover); over the wire that is the machine dying
+			// mid-op, not a reply.
+			if isMachineCrash(err) {
+				c.srv.fail(err)
+				return err
+			}
+			c.litError(errorText(err))
+		} else {
+			c.litSimple("OK")
+		}
+	case ModeBatched:
+		if c.nw >= c.srv.opts.batch() {
+			if err := c.settleWrites(); err != nil {
+				return err
+			}
+		}
+		if update {
+			c.def.Update(key, value)
+		} else {
+			c.def.Insert(key, value)
+		}
+		c.placeholder()
+	case ModeAsync:
+		var f *commit.Future
+		var err error
+		if update {
+			f, err = c.srv.pipe.Update(key, value)
+		} else {
+			f, err = c.srv.pipe.Insert(key, value)
+		}
+		if err != nil {
+			if isMachineCrash(err) {
+				c.srv.fail(err)
+				return err
+			}
+			c.litError(errorText(err))
+			return nil
+		}
+		c.futs = append(c.futs, f)
+		c.placeholder()
+	}
+	return nil
+}
+
+// scan serves one SCAN page: a fresh shard.Cursor streams up to count
+// merged entries from start, and the reply carries the resume key for
+// the next page (null when the key space is exhausted) — pagination
+// across requests without server-side cursor state.
+func (c *conn) scan(args [][]byte) error {
+	if len(args) != 3 {
+		c.litError("ERR wrong number of arguments for 'SCAN'")
+		return nil
+	}
+	count, perr := strconv.Atoi(string(args[2]))
+	if perr != nil || count < 1 || count > MaxScanCount {
+		c.litError("ERR scan count must be in [1," + strconv.Itoa(MaxScanCount) + "]")
+		return nil
+	}
+	if err := c.settleWrites(); err != nil {
+		return err
+	}
+	cur := c.srv.m.Cursor(args[1])
+	c.scanBuf, c.scanEnds, c.scanVals = c.scanBuf[:0], c.scanEnds[:0], c.scanVals[:0]
+	for len(c.scanEnds) < count {
+		k, v, ok := cur.Next()
+		if !ok {
+			break
+		}
+		c.scanBuf = append(c.scanBuf, k...)
+		c.scanEnds = append(c.scanEnds, len(c.scanBuf))
+		c.scanVals = append(c.scanVals, v)
+	}
+	n := len(c.scanEnds)
+	off := len(c.lit)
+	c.lit = appendArrayHeader(c.lit, 2)
+	if n == count {
+		// Page full: resume at the exclusive successor of the last key
+		// (smallest byte string strictly greater — lastKey + 0x00).
+		lo := 0
+		if n > 1 {
+			lo = c.scanEnds[n-2]
+		}
+		last := c.scanBuf[lo:c.scanEnds[n-1]]
+		c.lit = append(c.lit, '$')
+		c.lit = strconv.AppendInt(c.lit, int64(len(last)+1), 10)
+		c.lit = append(c.lit, '\r', '\n')
+		c.lit = append(c.lit, last...)
+		c.lit = append(c.lit, 0, '\r', '\n')
+	} else {
+		c.lit = appendNullBulk(c.lit)
+	}
+	c.lit = appendArrayHeader(c.lit, 2*n)
+	lo := 0
+	for i := 0; i < n; i++ {
+		c.lit = appendBulk(c.lit, c.scanBuf[lo:c.scanEnds[i]])
+		c.lit = appendInt(c.lit, int64(c.scanVals[i]))
+		lo = c.scanEnds[i]
+	}
+	c.record(off)
+	return nil
+}

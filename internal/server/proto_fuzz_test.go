@@ -1,0 +1,108 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzParseCommand pins the codec's three load-bearing properties on
+// arbitrary input: no panics, every accepted frame re-encodes
+// byte-identically to the bytes it consumed (canonical parsing), and
+// every rejection is a typed error (EOF pair or *ProtocolError).
+func FuzzParseCommand(f *testing.F) {
+	f.Add([]byte("*1\r\n$4\r\nPING\r\n"))
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n$4\r\nk001\r\n"))
+	f.Add([]byte("*3\r\n$3\r\nSET\r\n$4\r\nk001\r\n$2\r\n42\r\n"))
+	f.Add([]byte("*3\r\n$6\r\nUPDATE\r\n$1\r\nk\r\n$1\r\n7\r\n"))
+	f.Add([]byte("*2\r\n$3\r\nDEL\r\n$1\r\nk\r\n"))
+	f.Add([]byte("*3\r\n$4\r\nSCAN\r\n$1\r\na\r\n$2\r\n16\r\n"))
+	f.Add([]byte("*1\r\n$4\r\nINFO\r\n*1\r\n$5\r\nSTATS\r\n")) // pipelined pair
+	f.Add([]byte("*0\r\n"))                                    // empty array
+	f.Add([]byte("*2\r\n$03\r\nGET\r\n$1\r\nk\r\n"))           // leading zero
+	f.Add([]byte("*-1\r\n"))                                   // signed length
+	f.Add([]byte("*1\r\n$99999999\r\nx\r\n"))                  // oversized bulk
+	f.Add([]byte("*1\r\n$4\r\nPING\n"))                        // bare LF
+	f.Add([]byte("+OK\r\n"))                                   // reply, not request
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n$4\r\nk0"))               // truncated mid-bulk
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		consumed := 0
+		for {
+			frame, err := ParseCommand(r)
+			if err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+					return
+				}
+				var pe *ProtocolError
+				if !errors.As(err, &pe) || !errors.Is(err, ErrProtocol) {
+					t.Fatalf("untyped parse error %T: %v", err, err)
+				}
+				switch pe.Kind {
+				case KindMalformed, KindOversized, KindEmpty:
+				default:
+					t.Fatalf("unknown ProtocolError kind %q", pe.Kind)
+				}
+				return
+			}
+			if len(frame.Args) == 0 || len(frame.Args) > MaxArgs {
+				t.Fatalf("accepted frame with %d args", len(frame.Args))
+			}
+			for _, a := range frame.Args {
+				if len(a) > MaxBulk {
+					t.Fatalf("accepted bulk of %d bytes", len(a))
+				}
+			}
+			// Canonical parsing: the consumed prefix IS the canonical
+			// encoding, so re-encoding must reproduce it byte for byte.
+			enc := frame.Encode()
+			end := consumed + len(enc)
+			if end > len(data) || !bytes.Equal(data[consumed:end], enc) {
+				t.Fatalf("re-encode mismatch at offset %d:\n  input %q\n  enc   %q",
+					consumed, data[consumed:min(end, len(data))], enc)
+			}
+			consumed = end
+		}
+	})
+}
+
+// FuzzFrameRoundTrip drives the inverse direction: any args within
+// limits encode to a frame the parser accepts, reproduces exactly, and
+// re-encodes byte-identically.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte("GET"), []byte("k001"), []byte(""), uint8(2))
+	f.Add([]byte("SET"), []byte("key"), []byte("42"), uint8(3))
+	f.Add([]byte("PING"), []byte(""), []byte(""), uint8(1))
+	f.Add([]byte(""), []byte(""), []byte(""), uint8(3)) // empty bulks are legal
+	f.Add([]byte("\r\n$"), []byte("*9"), []byte{0}, uint8(3))
+	f.Fuzz(func(t *testing.T, a, b, c []byte, n uint8) {
+		pool := [][]byte{a, b, c}
+		args := make([][]byte, 0, MaxArgs)
+		for i := 0; i < int(n%MaxArgs)+1; i++ {
+			arg := pool[i%len(pool)]
+			if len(arg) > MaxBulk {
+				arg = arg[:MaxBulk]
+			}
+			args = append(args, arg)
+		}
+		enc := AppendFrame(nil, args)
+		frame, err := ParseCommand(bufio.NewReader(bytes.NewReader(enc)))
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n  enc %q", err, enc)
+		}
+		if len(frame.Args) != len(args) {
+			t.Fatalf("round trip lost args: sent %d got %d", len(args), len(frame.Args))
+		}
+		for i := range args {
+			if !bytes.Equal(frame.Args[i], args[i]) {
+				t.Fatalf("arg %d mismatch: sent %q got %q", i, args[i], frame.Args[i])
+			}
+		}
+		if re := frame.Encode(); !bytes.Equal(re, enc) {
+			t.Fatalf("re-encode mismatch:\n  enc %q\n  re  %q", enc, re)
+		}
+	})
+}

@@ -39,7 +39,9 @@ import (
 	"repro/internal/group"
 	"repro/internal/harness"
 	"repro/internal/keys"
+	"repro/internal/loadgen"
 	"repro/internal/pmem"
+	"repro/internal/server"
 	"repro/internal/ycsb"
 	"repro/shard"
 )
@@ -729,3 +731,42 @@ func ReshardDurabilityOrdered(name string, kind KeyKind, ranged bool, shards, lo
 func ReshardDurabilityHash(name string, shards, loadN, postN, workers int) ReshardCampaignReport {
 	return harness.ReshardDurabilityHash(name, shards, loadN, postN, workers)
 }
+
+// Serving tier (internal/server + internal/loadgen): the RESP-style
+// wire protocol over a sharded ordered front-end, and the open-loop
+// load generator that drives it.
+
+// Server serves the wire protocol over one sharded ordered front-end;
+// see internal/server for the command set and drain semantics.
+type Server = server.Server
+
+// ServerOptions configures a Server (write mode, batch size, async
+// commit pipeline, pipelining cap).
+type ServerOptions = server.Options
+
+// WriteMode selects how SET/UPDATE reach persistence: ServeSync,
+// ServeBatched (per-connection group commit) or ServeAsync
+// (ack-after-fence pipeline).
+type WriteMode = server.WriteMode
+
+// Write modes for ServerOptions.Mode.
+const (
+	ServeSync    = server.ModeSync
+	ServeBatched = server.ModeBatched
+	ServeAsync   = server.ModeAsync
+)
+
+// NewServer builds a Server over front-end m.
+func NewServer(m *ShardedOrdered, opts ServerOptions) *Server { return server.New(m, opts) }
+
+// LoadOptions configures an open-loop load run against a serving
+// endpoint (target QPS, Poisson arrivals, YCSB key distributions).
+type LoadOptions = loadgen.Options
+
+// LoadgenReport is one load run's outcome: achieved QPS, per-kind op
+// and error counts, typed error codes, and the reply deficit after
+// drain.
+type LoadgenReport = loadgen.Report
+
+// RunLoad drives one open-loop load run and reports it.
+func RunLoad(opts LoadOptions) (LoadgenReport, error) { return loadgen.Run(opts) }
